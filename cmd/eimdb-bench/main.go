@@ -1,0 +1,54 @@
+// Command eimdb-bench regenerates every table and series recorded in
+// EXPERIMENTS.md.  Each experiment (E1–E14) corresponds to a claim of the
+// paper; run them all or one at a time:
+//
+//	eimdb-bench              # run everything
+//	eimdb-bench -exp E3      # one experiment
+//	eimdb-bench -list        # list experiments with their claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (E1..E14) or 'all'")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		fmt.Printf("\n=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Printf("claim: %s\n", e.Claim)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, err := experiments.ByID(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of W. Lehner,
+// "Energy-Efficient In-Memory Database Computing" (DATE 2013): an
+// energy-aware in-memory column-store engine together with every
+// substrate the paper's argument rests on — word-parallel scans,
+// compression codecs, secondary indexes, a dual time/energy optimizer, an
+// energy-aware scheduler, concurrency-control schemes, a QoS REDO log, a
+// storage hierarchy, a network simulator, cluster elasticity, flexible
+// schema, database conversations, and robustness policies.
+//
+// See README.md for the tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the per-claim reproduction results.  The root-level
+// bench_test.go regenerates every experiment under `go test -bench`.
+package repro

@@ -1,0 +1,316 @@
+package colstore
+
+import (
+	"repro/internal/compress"
+	"repro/internal/energy"
+	"repro/internal/vec"
+)
+
+// intSegment is one block of an IntColumn.  Unsealed segments hold raw
+// values; Seal freezes a segment into a frame-of-reference bit-packed
+// layout (values - base packed at the minimal width) and records its zone
+// map.
+type intSegment struct {
+	raw    []int64     // nil once sealed
+	packed *vec.Packed // non-nil once sealed
+	base   int64       // frame of reference for packed codes
+	min    int64
+	max    int64
+	sealed bool
+}
+
+func (s *intSegment) length() int {
+	if s.sealed {
+		return s.packed.Len()
+	}
+	return len(s.raw)
+}
+
+func (s *intSegment) get(i int) int64 {
+	if s.sealed {
+		return s.base + int64(s.packed.Get(i))
+	}
+	return s.raw[i]
+}
+
+// seal converts the raw segment to its packed representation.
+func (s *intSegment) seal() {
+	if s.sealed || len(s.raw) == 0 {
+		return
+	}
+	min, max := s.raw[0], s.raw[0]
+	for _, v := range s.raw {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	s.min, s.max = min, max
+	width := compress.BitsFor(uint64(max - min))
+	if width > 63 {
+		width = 63 // degenerate full-range column: fall back to wide codes
+	}
+	codes := make([]uint64, len(s.raw))
+	for i, v := range s.raw {
+		codes[i] = uint64(v - min)
+	}
+	s.base = min
+	s.packed = vec.NewPacked(codes, width)
+	s.raw = nil
+	s.sealed = true
+}
+
+// IntColumn is a segmented column of int64 values.
+type IntColumn struct {
+	segs   []*intSegment
+	starts []int // logical row offset of each segment
+	n      int
+}
+
+// NewIntColumn returns an empty integer column.
+func NewIntColumn() *IntColumn { return &IntColumn{} }
+
+// Len returns the number of rows.
+func (c *IntColumn) Len() int { return c.n }
+
+// Type returns Int64.
+func (c *IntColumn) Type() Type { return Int64 }
+
+// Bytes returns the approximate memory footprint.
+func (c *IntColumn) Bytes() uint64 {
+	var b uint64
+	for _, s := range c.segs {
+		if s.sealed {
+			b += uint64(s.packed.WordCount()) * 8
+		} else {
+			b += uint64(len(s.raw)) * 8
+		}
+	}
+	return b
+}
+
+// Append adds one value.
+func (c *IntColumn) Append(v int64) {
+	if len(c.segs) == 0 || c.segs[len(c.segs)-1].sealed || len(c.segs[len(c.segs)-1].raw) >= SegSize {
+		c.segs = append(c.segs, &intSegment{raw: make([]int64, 0, 1024)})
+		c.starts = append(c.starts, c.n)
+	}
+	s := c.segs[len(c.segs)-1]
+	s.raw = append(s.raw, v)
+	c.n++
+}
+
+// AppendSlice bulk-appends values.
+func (c *IntColumn) AppendSlice(vs []int64) {
+	for _, v := range vs {
+		c.Append(v)
+	}
+}
+
+// Seal freezes every segment into its packed scan-optimized layout.
+// Sealed columns remain appendable: new values open a fresh raw segment.
+func (c *IntColumn) Seal() {
+	for _, s := range c.segs {
+		s.seal()
+	}
+}
+
+// Get returns row i.  Segments may have irregular lengths (sealing opens a
+// fresh segment), so the segment is located by binary search over start
+// offsets.
+func (c *IntColumn) Get(i int) int64 {
+	lo, hi := 0, len(c.starts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if c.starts[mid] <= i {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return c.segs[lo].get(i - c.starts[lo])
+}
+
+// Values materializes the whole column (test/diagnostic path).
+func (c *IntColumn) Values() []int64 {
+	out := make([]int64, 0, c.n)
+	for _, s := range c.segs {
+		for i := 0; i < s.length(); i++ {
+			out = append(out, s.get(i))
+		}
+	}
+	return out
+}
+
+// ScanStats describes what a scan touched, for EXPLAIN output and the
+// experiment tables.
+type ScanStats struct {
+	SegmentsTotal   int
+	SegmentsSkipped int // pruned by zone map
+	SegmentsPacked  int // scanned word-parallel
+	SegmentsRaw     int // scanned tuple-at-a-time
+}
+
+// Scan evaluates `value op c` over the whole column into out (length
+// Len).  Sealed segments use zone-map pruning plus the word-parallel
+// packed kernel; unsealed segments fall back to a branch-free scalar scan.
+// The returned counters price the work for the energy model.
+func (c *IntColumn) Scan(op vec.CmpOp, cval int64, out *vec.Bitvec) (energy.Counters, ScanStats) {
+	if out.Len() != c.n {
+		panic("colstore: scan result length mismatch")
+	}
+	var ctr energy.Counters
+	var st ScanStats
+	st.SegmentsTotal = len(c.segs)
+	offset := 0
+	for _, s := range c.segs {
+		n := s.length()
+		if n == 0 {
+			continue
+		}
+		if s.sealed && zonePrune(op, cval, s.min, s.max) {
+			st.SegmentsSkipped++
+			offset += n
+			continue
+		}
+		if s.sealed && zoneFull(op, cval, s.min, s.max) {
+			// Every row matches: set bits without touching data.
+			for i := 0; i < n; i++ {
+				out.Set(offset + i)
+			}
+			st.SegmentsSkipped++
+			ctr.Instructions += uint64(n / 8)
+			offset += n
+			continue
+		}
+		if s.sealed {
+			st.SegmentsPacked++
+			sub := vec.NewBitvec(n)
+			// Predicate on original values -> predicate on codes via the
+			// frame of reference.  Constants below base clamp to 0 with
+			// op-specific semantics handled by shifting first.
+			code, ok := shiftConst(op, cval, s.base)
+			if ok {
+				s.packed.Scan(op, code, sub)
+			} else if matchesAll(op, cval, s.min, s.max) {
+				sub.SetAll()
+			}
+			sub.ForEach(func(i int) { out.Set(offset + i) })
+			words := uint64(s.packed.WordCount())
+			ctr.BytesReadDRAM += words * 8
+			ctr.Instructions += words * 6 // SWAR ops + compaction
+			ctr.TuplesIn += uint64(n)
+		} else {
+			st.SegmentsRaw++
+			sub := vec.NewBitvec(n)
+			vec.ScanPredicated(s.raw, op, cval, sub)
+			sub.ForEach(func(i int) { out.Set(offset + i) })
+			ctr.BytesReadDRAM += uint64(n) * 8
+			ctr.Instructions += uint64(n) * 3
+			ctr.TuplesIn += uint64(n)
+		}
+		offset += n
+	}
+	ctr.TuplesOut = uint64(out.Count())
+	return ctr, st
+}
+
+// shiftConst maps a predicate constant from the value domain into the
+// code domain (v - base).  Returns ok=false when the shifted constant is
+// below zero, i.e. the predicate needs no data inspection.
+func shiftConst(op vec.CmpOp, c, base int64) (uint64, bool) {
+	d := c - base
+	if d >= 0 {
+		return uint64(d), true
+	}
+	return 0, false
+}
+
+// matchesAll reports whether, for a constant below the segment base, the
+// predicate trivially matches every row.
+func matchesAll(op vec.CmpOp, c, min, max int64) bool {
+	switch op {
+	case vec.GT, vec.GE, vec.NE:
+		return c < min
+	}
+	return false
+}
+
+// zonePrune reports whether the zone map proves no row in [min,max] can
+// match.
+func zonePrune(op vec.CmpOp, c, min, max int64) bool {
+	switch op {
+	case vec.LT:
+		return min >= c
+	case vec.LE:
+		return min > c
+	case vec.GT:
+		return max <= c
+	case vec.GE:
+		return max < c
+	case vec.EQ:
+		return c < min || c > max
+	case vec.NE:
+		return min == c && max == c
+	}
+	return false
+}
+
+// zoneFull reports whether the zone map proves every row matches.
+func zoneFull(op vec.CmpOp, c, min, max int64) bool {
+	switch op {
+	case vec.LT:
+		return max < c
+	case vec.LE:
+		return max <= c
+	case vec.GT:
+		return min > c
+	case vec.GE:
+		return min >= c
+	case vec.EQ:
+		return min == c && max == c
+	case vec.NE:
+		return c < min || c > max
+	}
+	return false
+}
+
+// MinMax returns the column-wide zone map.
+func (c *IntColumn) MinMax() (min, max int64, ok bool) {
+	if c.n == 0 {
+		return 0, 0, false
+	}
+	first := true
+	for _, s := range c.segs {
+		var lo, hi int64
+		if s.sealed {
+			lo, hi = s.min, s.max
+		} else {
+			if len(s.raw) == 0 {
+				continue
+			}
+			lo, hi = s.raw[0], s.raw[0]
+			for _, v := range s.raw {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+		if first {
+			min, max, first = lo, hi, false
+		} else {
+			if lo < min {
+				min = lo
+			}
+			if hi > max {
+				max = hi
+			}
+		}
+	}
+	return min, max, !first
+}

@@ -1,0 +1,149 @@
+package colstore
+
+import (
+	"sort"
+
+	"repro/internal/energy"
+	"repro/internal/vec"
+)
+
+// StringColumn stores strings dictionary-encoded: an append-order
+// dictionary assigns dense codes, and the codes live in an IntColumn so
+// equality predicates run as packed integer scans without touching string
+// data.  SealSorted re-maps codes into sorted dictionary order, enabling
+// range predicates on the code domain (the order-preserving property the
+// paper-era column stores rely on).
+type StringColumn struct {
+	codes   *IntColumn
+	values  []string       // code -> string
+	index   map[string]int // string -> code
+	ordered bool
+}
+
+// NewStringColumn returns an empty string column.
+func NewStringColumn() *StringColumn {
+	return &StringColumn{codes: NewIntColumn(), index: make(map[string]int)}
+}
+
+// Len returns the number of rows.
+func (c *StringColumn) Len() int { return c.codes.Len() }
+
+// Type returns String.
+func (c *StringColumn) Type() Type { return String }
+
+// Bytes approximates the footprint: codes plus dictionary strings.
+func (c *StringColumn) Bytes() uint64 {
+	b := c.codes.Bytes()
+	for _, s := range c.values {
+		b += uint64(len(s)) + 16
+	}
+	return b
+}
+
+// Append adds one string, assigning a new code if unseen.
+func (c *StringColumn) Append(s string) {
+	code, ok := c.index[s]
+	if !ok {
+		code = len(c.values)
+		c.values = append(c.values, s)
+		c.index[s] = code
+		c.ordered = false
+	}
+	c.codes.Append(int64(code))
+}
+
+// AppendSlice bulk-appends strings.
+func (c *StringColumn) AppendSlice(vs []string) {
+	for _, s := range vs {
+		c.Append(s)
+	}
+}
+
+// Get returns row i.
+func (c *StringColumn) Get(i int) string { return c.values[c.codes.Get(i)] }
+
+// DictSize returns the number of distinct values.
+func (c *StringColumn) DictSize() int { return len(c.values) }
+
+// Code returns the dictionary code for s, if present.
+func (c *StringColumn) Code(s string) (int64, bool) {
+	code, ok := c.index[s]
+	return int64(code), ok
+}
+
+// Ordered reports whether codes are currently in sorted dictionary order.
+func (c *StringColumn) Ordered() bool { return c.ordered }
+
+// SealSorted re-maps every code into sorted dictionary order and seals the
+// code column, enabling range predicates and packed scans.
+func (c *StringColumn) SealSorted() {
+	if !c.ordered {
+		sorted := make([]string, len(c.values))
+		copy(sorted, c.values)
+		sort.Strings(sorted)
+		remap := make([]int64, len(c.values))
+		newIndex := make(map[string]int, len(sorted))
+		for i, s := range sorted {
+			newIndex[s] = i
+		}
+		for old, s := range c.values {
+			remap[old] = int64(newIndex[s])
+		}
+		old := c.codes.Values()
+		c.codes = NewIntColumn()
+		for _, oc := range old {
+			c.codes.Append(remap[oc])
+		}
+		c.values = sorted
+		c.index = newIndex
+		c.ordered = true
+	}
+	c.codes.Seal()
+}
+
+// ScanEq sets bits where the value equals s.  Unknown strings match
+// nothing without touching data.
+func (c *StringColumn) ScanEq(s string, out *vec.Bitvec) (energy.Counters, ScanStats) {
+	code, ok := c.index[s]
+	if !ok {
+		return energy.Counters{}, ScanStats{}
+	}
+	return c.codes.Scan(vec.EQ, int64(code), out)
+}
+
+// ScanRange sets bits where low <= value < high in string order.  The
+// column must have been SealSorted, otherwise codes do not preserve order
+// and the scan falls back to a per-row string comparison.
+func (c *StringColumn) ScanRange(low, high string, out *vec.Bitvec) (energy.Counters, ScanStats) {
+	if c.ordered {
+		lo := int64(sort.SearchStrings(c.values, low))
+		hi := int64(sort.SearchStrings(c.values, high))
+		if lo >= hi {
+			return energy.Counters{}, ScanStats{}
+		}
+		ge := vec.NewBitvec(c.Len())
+		ctr1, st1 := c.codes.Scan(vec.GE, lo, ge)
+		lt := vec.NewBitvec(c.Len())
+		ctr2, st2 := c.codes.Scan(vec.LT, hi, lt)
+		ge.And(lt)
+		ge.ForEach(func(i int) { out.Set(i) })
+		ctr1.Add(ctr2)
+		st1.SegmentsTotal += st2.SegmentsTotal
+		st1.SegmentsSkipped += st2.SegmentsSkipped
+		st1.SegmentsPacked += st2.SegmentsPacked
+		st1.SegmentsRaw += st2.SegmentsRaw
+		return ctr1, st1
+	}
+	var ctr energy.Counters
+	for i := 0; i < c.Len(); i++ {
+		s := c.Get(i)
+		if s >= low && s < high {
+			out.Set(i)
+		}
+	}
+	ctr.TuplesIn = uint64(c.Len())
+	ctr.Instructions = uint64(c.Len()) * 12 // string compares are pricey
+	ctr.CacheMisses = uint64(c.Len()) / 4
+	ctr.TuplesOut = uint64(out.Count())
+	return ctr, ScanStats{}
+}

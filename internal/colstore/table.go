@@ -1,0 +1,209 @@
+package colstore
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Table is a named collection of equally long columns.  Loads are
+// column-wise (the generators in internal/workload produce
+// struct-of-arrays data); row-wise appends exist for the transactional
+// paths.  A RWMutex guards structural changes; scans take the read side.
+type Table struct {
+	Name string
+
+	mu     sync.RWMutex
+	schema Schema
+	cols   []Column
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema Schema) *Table {
+	t := &Table{Name: name, schema: append(Schema(nil), schema...)}
+	for _, d := range schema {
+		t.cols = append(t.cols, newColumn(d.Type))
+	}
+	return t
+}
+
+func newColumn(ty Type) Column {
+	switch ty {
+	case Int64:
+		return NewIntColumn()
+	case Float64:
+		return NewFloatColumn()
+	case String:
+		return NewStringColumn()
+	}
+	panic(fmt.Sprintf("colstore: unknown type %v", ty))
+}
+
+// Schema returns a copy of the table's schema.
+func (t *Table) Schema() Schema {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append(Schema(nil), t.schema...)
+}
+
+// Rows returns the number of rows.
+func (t *Table) Rows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.cols) == 0 {
+		return 0
+	}
+	return t.cols[0].Len()
+}
+
+// Bytes returns the total memory footprint of all columns.
+func (t *Table) Bytes() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var b uint64
+	for _, c := range t.cols {
+		b += c.Bytes()
+	}
+	return b
+}
+
+// Column returns the named column, or an error naming the table.
+func (t *Table) Column(name string) (Column, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	i := t.schema.ColIndex(name)
+	if i < 0 {
+		return nil, fmt.Errorf("colstore: table %s has no column %q", t.Name, name)
+	}
+	return t.cols[i], nil
+}
+
+// IntCol returns the named column as an IntColumn.
+func (t *Table) IntCol(name string) (*IntColumn, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	ic, ok := c.(*IntColumn)
+	if !ok {
+		return nil, fmt.Errorf("colstore: column %s.%s is %v, not BIGINT", t.Name, name, c.Type())
+	}
+	return ic, nil
+}
+
+// FloatCol returns the named column as a FloatColumn.
+func (t *Table) FloatCol(name string) (*FloatColumn, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	fc, ok := c.(*FloatColumn)
+	if !ok {
+		return nil, fmt.Errorf("colstore: column %s.%s is %v, not DOUBLE", t.Name, name, c.Type())
+	}
+	return fc, nil
+}
+
+// StrCol returns the named column as a StringColumn.
+func (t *Table) StrCol(name string) (*StringColumn, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	sc, ok := c.(*StringColumn)
+	if !ok {
+		return nil, fmt.Errorf("colstore: column %s.%s is %v, not VARCHAR", t.Name, name, c.Type())
+	}
+	return sc, nil
+}
+
+// LoadInt64 bulk-loads values into the named BIGINT column.
+func (t *Table) LoadInt64(name string, vs []int64) error {
+	c, err := t.IntCol(name)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c.AppendSlice(vs)
+	return nil
+}
+
+// LoadFloat64 bulk-loads values into the named DOUBLE column.
+func (t *Table) LoadFloat64(name string, vs []float64) error {
+	c, err := t.FloatCol(name)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c.AppendSlice(vs)
+	return nil
+}
+
+// LoadString bulk-loads values into the named VARCHAR column.
+func (t *Table) LoadString(name string, vs []string) error {
+	c, err := t.StrCol(name)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c.AppendSlice(vs)
+	return nil
+}
+
+// AppendRow appends one row given values in schema order.  Values must be
+// int64, float64, or string matching the column types.
+func (t *Table) AppendRow(vals ...any) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(vals) != len(t.cols) {
+		return fmt.Errorf("colstore: row has %d values, schema %s has %d", len(vals), t.Name, len(t.cols))
+	}
+	for i, v := range vals {
+		switch c := t.cols[i].(type) {
+		case *IntColumn:
+			x, ok := v.(int64)
+			if !ok {
+				return fmt.Errorf("colstore: column %q wants int64, got %T", t.schema[i].Name, v)
+			}
+			c.Append(x)
+		case *FloatColumn:
+			x, ok := v.(float64)
+			if !ok {
+				return fmt.Errorf("colstore: column %q wants float64, got %T", t.schema[i].Name, v)
+			}
+			c.Append(x)
+		case *StringColumn:
+			x, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("colstore: column %q wants string, got %T", t.schema[i].Name, v)
+			}
+			c.Append(x)
+		}
+	}
+	return nil
+}
+
+// Seal freezes every column into its scan-optimized representation and
+// validates that all columns have equal length.
+func (t *Table) Seal() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := -1
+	for i, c := range t.cols {
+		if n == -1 {
+			n = c.Len()
+		} else if c.Len() != n {
+			return fmt.Errorf("colstore: table %s column %q has %d rows, expected %d",
+				t.Name, t.schema[i].Name, c.Len(), n)
+		}
+		switch cc := c.(type) {
+		case *IntColumn:
+			cc.Seal()
+		case *StringColumn:
+			cc.SealSorted()
+		}
+	}
+	return nil
+}

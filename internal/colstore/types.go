@@ -1,0 +1,71 @@
+// Package colstore implements the in-memory column store at the heart of
+// the engine: typed columns split into fixed-size segments with zone maps
+// (per-segment min/max), optional bit-packed physical layouts that the
+// word-parallel scans of internal/vec stream through, and order-preserving
+// dictionary encoding for strings.
+//
+// The layout follows the paper's "main memory is the new disk" analogy:
+// segments are the blocks, zone maps are the coarse index that lets scans
+// skip blocks entirely (fewer bytes touched -> less energy), and sealing a
+// segment freezes it into its compressed scan-optimized form.
+package colstore
+
+import "fmt"
+
+// Type is the logical type of a column.
+type Type int
+
+// The supported column types.
+const (
+	Int64 Type = iota
+	Float64
+	String
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "BIGINT"
+	case Float64:
+		return "DOUBLE"
+	case String:
+		return "VARCHAR"
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// ColumnDef declares one column of a schema.
+type ColumnDef struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of column definitions.
+type Schema []ColumnDef
+
+// ColIndex returns the position of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, d := range s {
+		if d.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column is the common interface of all column implementations.
+type Column interface {
+	// Len returns the number of rows.
+	Len() int
+	// Type returns the logical type.
+	Type() Type
+	// Bytes returns the approximate in-memory footprint, used by the
+	// storage-hierarchy experiments to price tier placement.
+	Bytes() uint64
+}
+
+// SegSize is the number of rows per segment.  64 Ki rows keeps a packed
+// 16-bit segment near the L2 cache size, mirroring the cache-line-as-block
+// analogy from the paper.
+const SegSize = 1 << 16

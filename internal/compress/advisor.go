@@ -1,0 +1,74 @@
+package compress
+
+// Stats summarizes a vector for the codec advisor: the same statistics a
+// column-store catalog keeps per segment.
+type Stats struct {
+	N        int     // number of values
+	Distinct int     // distinct values (exact for small, else estimate)
+	Runs     int     // number of RLE runs
+	Sorted   bool    // non-decreasing?
+	Min, Max int64   // value range
+	AvgRun   float64 // N/Runs
+}
+
+// Analyze computes Stats in one pass (plus a bounded distinct count).
+func Analyze(values []int64) Stats {
+	s := Stats{N: len(values), Sorted: true, Runs: 0}
+	if len(values) == 0 {
+		return s
+	}
+	s.Min, s.Max = values[0], values[0]
+	s.Runs = 1
+	distinct := make(map[int64]struct{})
+	const distinctCap = 1 << 16
+	distinct[values[0]] = struct{}{}
+	for i := 1; i < len(values); i++ {
+		v := values[i]
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		if v < values[i-1] {
+			s.Sorted = false
+		}
+		if v != values[i-1] {
+			s.Runs++
+		}
+		if len(distinct) < distinctCap {
+			distinct[v] = struct{}{}
+		}
+	}
+	s.Distinct = len(distinct)
+	s.AvgRun = float64(s.N) / float64(s.Runs)
+	return s
+}
+
+// Choose returns the codec the advisor predicts to compress best:
+// long runs -> RLE; sorted -> delta; low cardinality -> dict; otherwise
+// bit-packing (which always beats raw for bounded ranges).
+func Choose(s Stats) Codec {
+	switch {
+	case s.N == 0:
+		return None
+	case s.AvgRun >= 4:
+		return RLE
+	case s.Sorted:
+		return Delta
+	case s.Distinct > 0 && s.Distinct <= s.N/8 && s.Distinct <= 1<<20:
+		return Dict
+	default:
+		return Bitpack
+	}
+}
+
+// Ratio compresses values with c and returns compressedBytes/rawBytes
+// (lower is better; 1.0 means no gain).
+func Ratio(c Codec, values []int64) float64 {
+	if len(values) == 0 {
+		return 1
+	}
+	raw := 8 * len(values)
+	return float64(len(c.Compress(values))) / float64(raw)
+}

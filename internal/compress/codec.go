@@ -1,0 +1,95 @@
+package compress
+
+import "fmt"
+
+// Codec compresses int64 column vectors to bytes and back.  Codecs are the
+// unit the optimizer's compress-vs-send decision (experiment E3) reasons
+// about: each has a compression ratio (data dependent) and a CPU cost
+// factor (instructions per value, data independent) that the cost model
+// multiplies into time and energy.
+type Codec interface {
+	// Name identifies the codec in plans and reports.
+	Name() string
+	// Compress serializes values into a self-describing payload.
+	Compress(values []int64) []byte
+	// Decompress reverses Compress.
+	Decompress(payload []byte) ([]int64, error)
+	// CostFactor is the approximate number of instructions spent per
+	// value on one side (compress or decompress), used by the cost
+	// model.
+	CostFactor() float64
+}
+
+// noneCodec ships raw little-endian values: the "uncompressed" arm of the
+// compress-vs-send decision.
+type noneCodec struct{}
+
+func (noneCodec) Name() string { return "none" }
+
+func (noneCodec) Compress(values []int64) []byte {
+	buf := make([]byte, 8*len(values))
+	for i, v := range values {
+		putUint64LE(buf[i*8:], uint64(v))
+	}
+	return buf
+}
+
+func (noneCodec) Decompress(payload []byte) ([]int64, error) {
+	if len(payload)%8 != 0 {
+		return nil, ErrCorrupt
+	}
+	out := make([]int64, len(payload)/8)
+	for i := range out {
+		out[i] = int64(uint64LE(payload[i*8:]))
+	}
+	return out, nil
+}
+
+func (noneCodec) CostFactor() float64 { return 1 }
+
+func putUint64LE(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func uint64LE(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// Registry of all codecs by name.
+var codecs = map[string]Codec{}
+
+func register(c Codec) Codec {
+	codecs[c.Name()] = c
+	return c
+}
+
+// The exported codec singletons.
+var (
+	None    = register(noneCodec{})
+	Bitpack = register(bitpackCodec{})
+	RLE     = register(rleCodec{})
+	Delta   = register(deltaCodec{})
+	Dict    = register(dictCodec{})
+)
+
+// ByName returns the codec registered under name.
+func ByName(name string) (Codec, error) {
+	c, ok := codecs[name]
+	if !ok {
+		return nil, fmt.Errorf("compress: unknown codec %q", name)
+	}
+	return c, nil
+}
+
+// All returns every registered codec, in a fixed report order.
+func All() []Codec { return []Codec{None, Bitpack, RLE, Delta, Dict} }

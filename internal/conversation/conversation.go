@@ -1,0 +1,166 @@
+// Package conversation implements the paper's "database conversations"
+// (§IV.A): materialized, application-specific views that exist beyond the
+// scope of a single transaction and can be shared — the community of
+// applications builds domain-specific versions of the database step by
+// step, freeing the engine from maintaining a single point of truth.
+//
+// A Store holds the base version; a Conversation is a named branch with
+// a private overlay.  Merging reconciles the overlay back, either
+// aborting on conflicting base changes (strict) or last-writer-wins
+// (loose).  Experiment E13 compares concurrent branch throughput against
+// serializing every writer on the single truth.
+package conversation
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MergePolicy selects conflict handling at merge time.
+type MergePolicy int
+
+// The merge policies.
+const (
+	// AbortOnConflict fails the merge if the base changed under any key
+	// the conversation wrote.
+	AbortOnConflict MergePolicy = iota
+	// LastWriterWins overwrites regardless of base changes.
+	LastWriterWins
+)
+
+// ErrMergeConflict reports a strict merge that lost a race.
+var ErrMergeConflict = fmt.Errorf("conversation: merge conflict with base version")
+
+// Store is the shared base database: a versioned key-value map.
+type Store struct {
+	mu      sync.RWMutex
+	data    map[string]int64
+	version map[string]uint64 // per-key write version
+	clock   uint64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{data: map[string]int64{}, version: map[string]uint64{}}
+}
+
+// Get reads a key from the base.
+func (s *Store) Get(key string) (int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Set writes a key directly to the base (the single-truth path).
+func (s *Store) Set(key string, v int64) {
+	s.mu.Lock()
+	s.clock++
+	s.data[key] = v
+	s.version[key] = s.clock
+	s.mu.Unlock()
+}
+
+// Len returns the number of base keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Conversation is a named branch over the store.
+type Conversation struct {
+	Name  string
+	store *Store
+	mu    sync.Mutex
+	over  map[string]int64  // overlay writes
+	seen  map[string]uint64 // base version observed at first touch
+}
+
+// Open starts a conversation on the store.
+func (s *Store) Open(name string) *Conversation {
+	return &Conversation{
+		Name:  name,
+		store: s,
+		over:  map[string]int64{},
+		seen:  map[string]uint64{},
+	}
+}
+
+// Get reads through the overlay into the base.
+func (c *Conversation) Get(key string) (int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.over[key]; ok {
+		return v, true
+	}
+	c.store.mu.RLock()
+	defer c.store.mu.RUnlock()
+	if _, touched := c.seen[key]; !touched {
+		c.seen[key] = c.store.version[key]
+	}
+	v, ok := c.store.data[key]
+	return v, ok
+}
+
+// Set writes into the conversation's overlay; the base is untouched until
+// Merge.
+func (c *Conversation) Set(key string, v int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, touched := c.seen[key]; !touched {
+		c.store.mu.RLock()
+		c.seen[key] = c.store.version[key]
+		c.store.mu.RUnlock()
+	}
+	c.over[key] = v
+}
+
+// Pending returns the number of unmerged overlay writes.
+func (c *Conversation) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.over)
+}
+
+// Materialize returns the conversation's full view (base + overlay) — the
+// "materialized application-specific view" of the paper.
+func (c *Conversation) Materialize() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store.mu.RLock()
+	defer c.store.mu.RUnlock()
+	out := make(map[string]int64, len(c.store.data)+len(c.over))
+	for k, v := range c.store.data {
+		out[k] = v
+	}
+	for k, v := range c.over {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge reconciles the overlay into the base under the policy.  On
+// success the overlay is cleared and the conversation can continue.
+func (c *Conversation) Merge(policy MergePolicy) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if policy == AbortOnConflict {
+		for k := range c.over {
+			if s.version[k] != c.seen[k] {
+				return ErrMergeConflict
+			}
+		}
+	}
+	for k, v := range c.over {
+		s.clock++
+		s.data[k] = v
+		s.version[k] = s.clock
+	}
+	c.over = map[string]int64{}
+	c.seen = map[string]uint64{}
+	return nil
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"repro/internal/energy"
+	"repro/internal/opt"
+	"repro/internal/sql"
+)
+
+// BudgetDecision reports how a budgeted query was planned.
+type BudgetDecision struct {
+	Budget     energy.Joules
+	Chosen     opt.Objective // objective whose plan was executed
+	Candidates []opt.Cost    // estimated cost per candidate objective
+	Picked     int           // index into Candidates
+}
+
+// QueryUnderBudget is Figure 2 as an API: the engine plans the query
+// under every objective, estimates each plan's energy, and executes the
+// fastest plan whose estimate fits the per-query budget (falling back to
+// the most frugal plan when none fits).  The decision is returned next to
+// the result so callers can audit the trade.
+func (e *Engine) QueryUnderBudget(text string, budget energy.Joules) (*Result, *BudgetDecision, error) {
+	q, err := sql.Parse(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.RunUnderBudget(q, budget)
+}
+
+// RunUnderBudget is QueryUnderBudget for an already-built logical query.
+func (e *Engine) RunUnderBudget(q *opt.Query, budget energy.Joules) (*Result, *BudgetDecision, error) {
+	objectives := []opt.Objective{opt.MinTime, opt.MinEDP, opt.MinEnergy}
+	dec := &BudgetDecision{Budget: budget}
+	for _, obj := range objectives {
+		_, info, err := e.cat.Plan(q, e.cm, obj)
+		if err != nil {
+			return nil, nil, err
+		}
+		dec.Candidates = append(dec.Candidates, info.Est)
+	}
+	dec.Picked = opt.PickUnderEnergyBudget(dec.Candidates, budget)
+	dec.Chosen = objectives[dec.Picked]
+
+	prev := e.Objective()
+	e.SetObjective(dec.Chosen)
+	res, err := e.Run(q)
+	e.SetObjective(prev)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, dec, nil
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/opt"
+)
+
+func TestQueryUnderBudget(t *testing.T) {
+	e := Open()
+	loadOrders(t, e, 100_000)
+	if err := e.CreateIndex("orders", "id", "btree"); err != nil {
+		t.Fatal(err)
+	}
+	const sqlText = "SELECT id FROM orders WHERE id = 4242"
+
+	// A generous budget executes and returns a valid decision.
+	res, dec, err := e.QueryUnderBudget(sqlText, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rel.N != 1 {
+		t.Fatalf("rows = %d", res.Rel.N)
+	}
+	if len(dec.Candidates) != 3 || dec.Picked < 0 || dec.Picked >= 3 {
+		t.Fatalf("bad decision: %+v", dec)
+	}
+	// Generous budget: the fastest candidate must be picked.
+	fastest := 0
+	for i, c := range dec.Candidates {
+		if c.Time < dec.Candidates[fastest].Time {
+			fastest = i
+		}
+	}
+	if dec.Picked != fastest {
+		t.Errorf("generous budget must pick the fastest plan: picked %d, fastest %d", dec.Picked, fastest)
+	}
+
+	// An impossible budget falls back to the most frugal estimate.
+	_, tight, err := e.QueryUnderBudget(sqlText, energy.Joules(1e-15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frugal := 0
+	for i, c := range tight.Candidates {
+		if c.Energy < tight.Candidates[frugal].Energy {
+			frugal = i
+		}
+	}
+	if tight.Picked != frugal {
+		t.Errorf("impossible budget must pick the most frugal plan: picked %d, frugal %d", tight.Picked, frugal)
+	}
+
+	// The engine's ambient objective is restored afterwards.
+	if e.Objective() != opt.MinTime {
+		t.Errorf("objective leaked: %v", e.Objective())
+	}
+}
+
+func TestQueryUnderBudgetErrors(t *testing.T) {
+	e := Open()
+	loadOrders(t, e, 100)
+	if _, _, err := e.QueryUnderBudget("SELEC nope", 1); err == nil {
+		t.Error("bad SQL must error")
+	}
+	if _, _, err := e.QueryUnderBudget("SELECT ghost FROM orders", 1); err == nil {
+		t.Error("bad column must error")
+	}
+}

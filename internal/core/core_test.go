@@ -1,0 +1,191 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/opt"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// loadOrders creates and loads the standard orders table on an engine.
+func loadOrders(t testing.TB, e *Engine, n int) {
+	t.Helper()
+	o := workload.GenOrders(42, n, 500, 1.1)
+	tab, err := e.CreateTable("orders", colstore.Schema{
+		{Name: "id", Type: colstore.Int64},
+		{Name: "custkey", Type: colstore.Int64},
+		{Name: "region", Type: colstore.String},
+		{Name: "amount", Type: colstore.Float64},
+		{Name: "day", Type: colstore.Int64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := make([]string, n)
+	for i, r := range o.Region {
+		regions[i] = workload.RegionNames[r]
+	}
+	check := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(tab.LoadInt64("id", o.OrderID))
+	check(tab.LoadInt64("custkey", o.CustKey))
+	check(tab.LoadString("region", regions))
+	check(tab.LoadFloat64("amount", o.Amount))
+	check(tab.LoadInt64("day", o.OrderDay))
+	check(e.Seal("orders"))
+}
+
+func TestEndToEndSQL(t *testing.T) {
+	e := Open()
+	loadOrders(t, e, 5000)
+	res, err := e.Query(`SELECT region, SUM(amount) AS rev, COUNT(*) AS n
+		FROM orders WHERE amount > 100 GROUP BY region ORDER BY rev DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rel.N == 0 || res.Rel.N > len(workload.RegionNames) {
+		t.Fatalf("groups = %d", res.Rel.N)
+	}
+	rev, err := res.Rel.Col("rev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < res.Rel.N; i++ {
+		if rev.F[i] > rev.F[i-1] {
+			t.Fatal("ORDER BY rev DESC violated")
+		}
+	}
+	if res.Joules() <= 0 {
+		t.Error("query must report energy")
+	}
+	if res.Work.IsZero() {
+		t.Error("query must report work counters")
+	}
+	if e.LifetimeWork().IsZero() {
+		t.Error("engine must accumulate lifetime work")
+	}
+}
+
+func TestHybridLanguageEquivalence(t *testing.T) {
+	// E14: SQL text and procedural builder must yield the same logical
+	// query, the same plan, and the same rows.
+	e := Open()
+	loadOrders(t, e, 3000)
+	sqlQ := `SELECT region, SUM(amount) AS rev FROM orders WHERE custkey < 50 GROUP BY region ORDER BY rev DESC LIMIT 3`
+	resSQL, err := e.Query(sqlQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := e.From("orders").
+		WhereInt("custkey", vec.LT, 50).
+		Select("region").
+		SumOf("amount", "rev").
+		GroupBy("region").
+		OrderBy("rev", true).
+		Limit(3).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSQL.PlanInfo.Explain != resB.PlanInfo.Explain {
+		t.Fatalf("plans differ:\nSQL:\n%s\nbuilder:\n%s", resSQL.PlanInfo.Explain, resB.PlanInfo.Explain)
+	}
+	if resSQL.Rel.N != resB.Rel.N {
+		t.Fatalf("row counts differ: %d vs %d", resSQL.Rel.N, resB.Rel.N)
+	}
+	for r := 0; r < resSQL.Rel.N; r++ {
+		if !reflect.DeepEqual(resSQL.Rel.Row(r), resB.Rel.Row(r)) {
+			t.Fatalf("row %d differs", r)
+		}
+	}
+}
+
+func TestIndexChangesPlan(t *testing.T) {
+	e := Open()
+	loadOrders(t, e, 100000)
+	before, err := e.Explain("SELECT id FROM orders WHERE id = 77")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(before, "IndexScan") {
+		t.Fatal("no index yet, plan must scan")
+	}
+	if err := e.CreateIndex("orders", "id", "btree"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.Explain("SELECT id FROM orders WHERE id = 77")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(after, "IndexScan") {
+		t.Fatalf("needle query must use the index:\n%s", after)
+	}
+	// Results must be identical either way.
+	res, err := e.Query("SELECT id FROM orders WHERE id = 77")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rel.N != 1 {
+		t.Fatalf("rows = %d", res.Rel.N)
+	}
+}
+
+func TestObjectiveSwitching(t *testing.T) {
+	e := Open(WithObjective(opt.MinEnergy))
+	if e.Objective() != opt.MinEnergy {
+		t.Fatal("option not applied")
+	}
+	e.SetObjective(opt.MinTime)
+	if e.Objective() != opt.MinTime {
+		t.Fatal("SetObjective not applied")
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	e := Open()
+	loadOrders(t, e, 100)
+	if _, err := e.CreateTable("orders", nil); err == nil {
+		t.Error("duplicate table must error")
+	}
+	if _, err := e.Query("SELEC broken"); err == nil {
+		t.Error("bad SQL must error")
+	}
+	if _, err := e.Query("SELECT ghost FROM orders"); err == nil {
+		t.Error("unknown column must error")
+	}
+	if err := e.CreateIndex("orders", "amount", "btree"); err == nil {
+		t.Error("index on DOUBLE must error")
+	}
+	if err := e.CreateIndex("orders", "id", "skiplist"); err == nil {
+		t.Error("unknown index kind must error")
+	}
+	if err := e.Seal("ghost"); err == nil {
+		t.Error("sealing unknown table must error")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	e := Open()
+	loadOrders(t, e, 50)
+	res, err := e.Query("SELECT id, amount FROM orders LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(res.Rel)
+	if !strings.Contains(out, "id") || !strings.Contains(out, "amount") {
+		t.Fatalf("format output missing headers:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Fatalf("expected header+rule+2 rows:\n%s", out)
+	}
+	if Format(nil) != "" {
+		t.Error("nil relation formats empty")
+	}
+}

@@ -1,0 +1,238 @@
+// Package core is the engine facade: the public API a downstream
+// application uses.  It wires the column store, indexes, optimizer, SQL
+// front end, and energy model into one object with both halves of the
+// paper's "hybrid query language": declarative SQL via Engine.Query and
+// the procedural builder via Engine.From(...).  Every query returns an
+// energy report next to its result.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/energy"
+	"repro/internal/exec"
+	"repro/internal/index"
+	"repro/internal/opt"
+	"repro/internal/sql"
+)
+
+// Engine is an energy-aware in-memory column-store database.
+type Engine struct {
+	mu    sync.Mutex
+	cat   *opt.Catalog
+	model *energy.Model
+	cm    *opt.CostModel
+	obj   opt.Objective
+	meter energy.Meter // lifetime work accumulator
+}
+
+// Option configures Open.
+type Option func(*Engine)
+
+// WithObjective sets the optimizer objective (default MinTime).
+func WithObjective(o opt.Objective) Option { return func(e *Engine) { e.obj = o } }
+
+// WithModel replaces the energy model.
+func WithModel(m *energy.Model) Option {
+	return func(e *Engine) {
+		e.model = m
+		e.cm = opt.NewCostModel(m)
+	}
+}
+
+// Open creates an engine.
+func Open(opts ...Option) *Engine {
+	m := energy.DefaultModel()
+	e := &Engine{cat: opt.NewCatalog(), model: m, cm: opt.NewCostModel(m), obj: opt.MinTime}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Objective returns the current optimizer objective.
+func (e *Engine) Objective() opt.Objective { return e.obj }
+
+// SetObjective switches the optimizer objective at runtime ("elasticity
+// in the small": the same engine serves min-time or min-energy plans).
+func (e *Engine) SetObjective(o opt.Objective) {
+	e.mu.Lock()
+	e.obj = o
+	e.mu.Unlock()
+}
+
+// Model exposes the engine's energy model (for experiment harnesses).
+func (e *Engine) Model() *energy.Model { return e.model }
+
+// Catalog exposes the optimizer catalog (for experiment harnesses).
+func (e *Engine) Catalog() *opt.Catalog { return e.cat }
+
+// CreateTable creates and registers an empty table.
+func (e *Engine) CreateTable(name string, schema colstore.Schema) (*colstore.Table, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, existing := range e.cat.Tables() {
+		if existing == name {
+			return nil, fmt.Errorf("core: table %q already exists", name)
+		}
+	}
+	t := colstore.NewTable(name, schema)
+	e.cat.AddTable(t)
+	return t, nil
+}
+
+// Seal freezes the named table into its scan-optimized layout and
+// refreshes optimizer statistics.  Call it after bulk loads.
+func (e *Engine) Seal(name string) error {
+	t, err := e.cat.Table(name)
+	if err != nil {
+		return err
+	}
+	if err := t.Seal(); err != nil {
+		return err
+	}
+	return e.cat.RefreshStats(name)
+}
+
+// CreateIndex builds a secondary index of the given kind ("hash",
+// "btree", or "prefixtree") over a BIGINT column.
+func (e *Engine) CreateIndex(table, col, kind string) error {
+	t, err := e.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	ic, err := t.IntCol(col)
+	if err != nil {
+		return err
+	}
+	var idx index.Index
+	switch kind {
+	case "hash":
+		idx = index.NewHash()
+	case "btree":
+		idx = index.NewBTree()
+	case "prefixtree":
+		idx = index.NewPrefixTree()
+	default:
+		return fmt.Errorf("core: unknown index kind %q (want hash, btree, or prefixtree)", kind)
+	}
+	index.BuildFrom(idx, ic.Values())
+	e.cat.AddIndex(table, col, idx)
+	return nil
+}
+
+// Result carries a query's rows plus its measured and modeled costs.
+type Result struct {
+	Rel      *exec.Relation
+	Elapsed  time.Duration    // measured wall time
+	SimTime  time.Duration    // simulated non-CPU time (links, disk)
+	Work     energy.Counters  // work counters from all operators
+	Energy   energy.Breakdown // model-accounted energy
+	PlanInfo *opt.PlanInfo
+}
+
+// Joules returns the modeled total energy of the query.
+func (r *Result) Joules() energy.Joules { return r.Energy.Total() }
+
+// Query parses and executes SQL.
+func (e *Engine) Query(text string) (*Result, error) {
+	q, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(q)
+}
+
+// Explain returns the physical plan for SQL without executing it.
+func (e *Engine) Explain(text string) (string, error) {
+	q, err := sql.Parse(text)
+	if err != nil {
+		return "", err
+	}
+	_, info, err := e.cat.Plan(q, e.cm, e.obj)
+	if err != nil {
+		return "", err
+	}
+	return info.Explain, nil
+}
+
+// Run plans and executes a logical query (the shared form produced by
+// the SQL parser and the builder).
+func (e *Engine) Run(q *opt.Query) (*Result, error) {
+	node, info, err := e.cat.Plan(q, e.cm, e.obj)
+	if err != nil {
+		return nil, err
+	}
+	ctx := exec.NewCtx()
+	start := time.Now()
+	rel, err := node.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	work := ctx.Meter.Snapshot()
+	e.meter.Add(work)
+	b := e.model.DynamicEnergy(work, e.cm.PState)
+	cpu := e.model.CPUTime(work, e.cm.PState)
+	b.Static = energy.StaticEnergy(e.cm.PState.Active, cpu) +
+		energy.StaticEnergy(e.model.Core.Idle.Power, ctx.SimTime)
+	return &Result{
+		Rel:      rel,
+		Elapsed:  elapsed,
+		SimTime:  ctx.SimTime,
+		Work:     work,
+		Energy:   b,
+		PlanInfo: info,
+	}, nil
+}
+
+// LifetimeWork returns the total work the engine has performed.
+func (e *Engine) LifetimeWork() energy.Counters { return e.meter.Snapshot() }
+
+// Format renders a relation as an aligned text table (CLI/examples).
+func Format(rel *exec.Relation) string {
+	if rel == nil {
+		return ""
+	}
+	names := rel.ColNames()
+	widths := make([]int, len(names))
+	cells := make([][]string, rel.N)
+	for i := range names {
+		widths[i] = len(names[i])
+	}
+	for r := 0; r < rel.N; r++ {
+		row := rel.Row(r)
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			s := fmt.Sprintf("%v", v)
+			if f, ok := v.(float64); ok {
+				s = fmt.Sprintf("%.2f", f)
+			}
+			cells[r][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, n := range names {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], n)
+	}
+	b.WriteByte('\n')
+	for i := range names {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		b.WriteString("  ")
+	}
+	b.WriteByte('\n')
+	for r := 0; r < rel.N; r++ {
+		for i, s := range cells[r] {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

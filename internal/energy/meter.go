@@ -1,0 +1,68 @@
+package energy
+
+import (
+	"sync"
+	"time"
+)
+
+// Meter is a thread-safe accumulator of work counters, used as the single
+// collection point for a query, a worker, or the whole engine.  The zero
+// value is ready to use.
+type Meter struct {
+	mu sync.Mutex
+	c  Counters
+}
+
+// Add accumulates counters into the meter.
+func (m *Meter) Add(c Counters) {
+	m.mu.Lock()
+	m.c.Add(c)
+	m.mu.Unlock()
+}
+
+// Snapshot returns the counters accumulated so far.
+func (m *Meter) Snapshot() Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c
+}
+
+// Reset clears the meter and returns what it held.
+func (m *Meter) Reset() Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.c
+	m.c = Counters{}
+	return c
+}
+
+// Report summarizes one measured activity: the work it performed, the time
+// it took (simulated or measured), and the energy breakdown the model
+// assigns to it.
+type Report struct {
+	Work    Counters
+	Elapsed time.Duration
+	Energy  Breakdown
+}
+
+// Joules returns the total energy of the report.
+func (r Report) Joules() Joules { return r.Energy.Total() }
+
+// AvgPower returns the mean power over the report's elapsed time.
+func (r Report) AvgPower() Watts {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return Watts(float64(r.Energy.Total()) / r.Elapsed.Seconds())
+}
+
+// Account builds a Report for counted work running on n cores at P-state p
+// for the given wall-clock duration.  Dynamic energy comes from the
+// counters; static energy integrates the active-core power plus DRAM
+// background power for memGB gigabytes over the duration.
+func (m *Model) Account(c Counters, elapsed time.Duration, n int, p PState, memGB float64) Report {
+	b := m.DynamicEnergy(c, p)
+	b.Static += Joules(float64(p.Active)*float64(n)*elapsed.Seconds()) +
+		Joules(float64(m.DRAMStaticPerGB)*memGB*elapsed.Seconds())
+	return Report{Work: c, Elapsed: elapsed, Energy: b}
+}

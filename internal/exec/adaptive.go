@@ -1,0 +1,124 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/colstore"
+	"repro/internal/energy"
+	"repro/internal/expr"
+	"repro/internal/vec"
+)
+
+// AdaptiveFilter is the paper's "reconfigurable operator" (§IV.B,
+// following Ross [17]): a selection whose implementation switches at
+// batch boundaries based on the selectivity it observes.  Near-certain
+// predicates (almost always true or false) are branch-prediction friendly
+// and run the branching kernel; mid-range selectivities run the
+// branch-free predicated kernel.  The operator starts optimistic
+// (branching) and adapts as batches complete, so a selectivity drift in
+// the data (e.g. a sorted region ending) triggers a mid-scan switch.
+type AdaptiveFilter struct {
+	Child Node
+	Pred  expr.Pred // int64 column predicate
+
+	// BatchSize overrides the adaptation granularity (default 4096).
+	BatchSize int
+
+	// stats, populated by Run.
+	switches    int
+	lastKernels []string
+}
+
+// adaptiveBatch is the default adaptation granularity.
+const adaptiveBatch = 4096
+
+// branchyBand is the selectivity band (from either end) where the
+// branching kernel is preferred: predictions succeed when outcomes are
+// near-certain.
+const branchyBand = 0.05
+
+// Label implements Node.
+func (a *AdaptiveFilter) Label() string {
+	return fmt.Sprintf("AdaptiveFilter(%s)", a.Pred)
+}
+
+// Kids implements Node.
+func (a *AdaptiveFilter) Kids() []Node { return []Node{a.Child} }
+
+// Switches reports how many kernel changes the last Run performed.
+func (a *AdaptiveFilter) Switches() int { return a.switches }
+
+// Kernels reports the kernel used per batch in the last Run.
+func (a *AdaptiveFilter) Kernels() []string { return a.lastKernels }
+
+// Run implements Node.
+func (a *AdaptiveFilter) Run(ctx *Ctx) (*Relation, error) {
+	in, err := a.Child.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	col, err := in.Col(a.Pred.Col)
+	if err != nil {
+		return nil, err
+	}
+	if col.Type != colstore.Int64 {
+		return nil, fmt.Errorf("exec: adaptive filter needs a BIGINT column, %q is %v", a.Pred.Col, col.Type)
+	}
+	if a.Pred.Val.Kind != colstore.Int64 {
+		return nil, fmt.Errorf("exec: adaptive filter literal must be BIGINT for %s", a.Pred)
+	}
+	batch := a.BatchSize
+	if batch <= 0 {
+		batch = adaptiveBatch
+	}
+
+	out := vec.NewBitvec(in.N)
+	a.switches = 0
+	a.lastKernels = a.lastKernels[:0]
+	useBranching := true // optimistic start: assume predictable
+	matchedSoFar, seenSoFar := 0, 0
+	var w energy.Counters
+	for off := 0; off < in.N; off += batch {
+		end := off + batch
+		if end > in.N {
+			end = in.N
+		}
+		seg := col.I[off:end]
+		sub := vec.NewBitvec(len(seg))
+		if useBranching {
+			vec.ScanBranching(seg, a.Pred.Op, a.Pred.Val.I, sub)
+			a.lastKernels = append(a.lastKernels, "branching")
+		} else {
+			vec.ScanPredicated(seg, a.Pred.Op, a.Pred.Val.I, sub)
+			a.lastKernels = append(a.lastKernels, "predicated")
+		}
+		m := sub.Count()
+		sub.ForEach(func(i int) { out.Set(off + i) })
+		matchedSoFar += m
+		seenSoFar += len(seg)
+
+		// Work accounting: the branching kernel pays mispredictions in
+		// the mid-selectivity band; the predicated kernel pays a fixed
+		// extra ALU op per tuple.
+		sel := float64(m) / float64(len(seg))
+		w.TuplesIn += uint64(len(seg))
+		w.BytesReadDRAM += uint64(len(seg)) * 8
+		if useBranching {
+			w.Instructions += uint64(len(seg)) * 2
+			w.BranchMisses += uint64(2 * sel * (1 - sel) * float64(len(seg)))
+		} else {
+			w.Instructions += uint64(len(seg)) * 3
+		}
+
+		// Adapt for the next batch using the running selectivity.
+		runSel := float64(matchedSoFar) / float64(seenSoFar)
+		wantBranching := runSel <= branchyBand || runSel >= 1-branchyBand
+		if wantBranching != useBranching {
+			useBranching = wantBranching
+			a.switches++
+		}
+	}
+	w.TuplesOut = uint64(out.Count())
+	ctx.charge(a.Label(), out.Count(), w)
+	return in.gather(out.Indices()), nil
+}

@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/expr"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// relOf wraps an int64 slice as a single-column relation source.
+type relSource struct{ rel *Relation }
+
+func (s *relSource) Run(*Ctx) (*Relation, error) { return s.rel, nil }
+func (s *relSource) Label() string               { return "source" }
+func (s *relSource) Kids() []Node                { return nil }
+
+func intRelation(vals []int64) *relSource {
+	return &relSource{rel: &Relation{
+		N:    len(vals),
+		Cols: []Col{{Name: "x", Type: colstore.Int64, I: vals}},
+	}}
+}
+
+func TestAdaptiveFilterMatchesPlainFilter(t *testing.T) {
+	vals := workload.UniformInts(3, 50_000, 1000)
+	pred := expr.Pred{Col: "x", Op: vec.LT, Val: expr.IntVal(500)}
+	af := &AdaptiveFilter{Child: intRelation(vals), Pred: pred}
+	got, err := af.Run(NewCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (&Filter{Child: intRelation(vals), Preds: []expr.Pred{pred}}).Run(NewCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != want.N {
+		t.Fatalf("adaptive %d rows, plain %d", got.N, want.N)
+	}
+	gc, _ := got.Col("x")
+	wc, _ := want.Col("x")
+	if !reflect.DeepEqual(gc.I, wc.I) {
+		t.Fatal("adaptive filter changed the result")
+	}
+}
+
+func TestAdaptiveFilterSwitchesOnDrift(t *testing.T) {
+	// First half: everything below the cut (selectivity ~1, predictable).
+	// Second half: uniform around the cut (selectivity ~0.5, hostile to
+	// branches).  The operator must switch kernels mid-scan.
+	n := 40_000
+	vals := make([]int64, n)
+	rng := workload.NewRNG(9)
+	for i := 0; i < n/2; i++ {
+		vals[i] = int64(rng.Intn(10)) // all < 500
+	}
+	for i := n / 2; i < n; i++ {
+		vals[i] = int64(rng.Intn(1000))
+	}
+	af := &AdaptiveFilter{Child: intRelation(vals), Pred: expr.Pred{Col: "x", Op: vec.LT, Val: expr.IntVal(500)}}
+	if _, err := af.Run(NewCtx()); err != nil {
+		t.Fatal(err)
+	}
+	if af.Switches() == 0 {
+		t.Fatalf("selectivity drift must trigger a kernel switch; kernels=%v", af.Kernels()[:4])
+	}
+	ks := af.Kernels()
+	if ks[0] != "branching" {
+		t.Errorf("operator should start optimistic (branching), got %q", ks[0])
+	}
+	if ks[len(ks)-1] != "predicated" {
+		t.Errorf("after drifting to 50%% selectivity the kernel should be predicated, got %q", ks[len(ks)-1])
+	}
+}
+
+func TestAdaptiveFilterStableWorkloadsDontSwitch(t *testing.T) {
+	// Uniform mid selectivity end to end: at most the single initial
+	// adaptation away from the optimistic start.
+	vals := workload.UniformInts(5, 40_000, 1000)
+	af := &AdaptiveFilter{Child: intRelation(vals), Pred: expr.Pred{Col: "x", Op: vec.LT, Val: expr.IntVal(500)}}
+	if _, err := af.Run(NewCtx()); err != nil {
+		t.Fatal(err)
+	}
+	if af.Switches() > 1 {
+		t.Errorf("stable selectivity should switch at most once, switched %d times", af.Switches())
+	}
+	// Needle selectivity: stays branching throughout.
+	af2 := &AdaptiveFilter{Child: intRelation(vals), Pred: expr.Pred{Col: "x", Op: vec.LT, Val: expr.IntVal(2)}}
+	if _, err := af2.Run(NewCtx()); err != nil {
+		t.Fatal(err)
+	}
+	if af2.Switches() != 0 {
+		t.Errorf("needle predicate must stay branching, switched %d times", af2.Switches())
+	}
+}
+
+func TestAdaptiveFilterErrors(t *testing.T) {
+	rel := &relSource{rel: &Relation{N: 1, Cols: []Col{{Name: "s", Type: colstore.String, S: []string{"a"}}}}}
+	af := &AdaptiveFilter{Child: rel, Pred: expr.Pred{Col: "s", Op: vec.EQ, Val: expr.StrVal("a")}}
+	if _, err := af.Run(NewCtx()); err == nil {
+		t.Fatal("string column must be rejected")
+	}
+	af2 := &AdaptiveFilter{Child: intRelation([]int64{1}), Pred: expr.Pred{Col: "nope", Op: vec.EQ, Val: expr.IntVal(1)}}
+	if _, err := af2.Run(NewCtx()); err == nil {
+		t.Fatal("unknown column must be rejected")
+	}
+}
+
+func TestAdaptiveFilterChargesBranchMisses(t *testing.T) {
+	vals := workload.UniformInts(7, 20_000, 1000)
+	ctx := NewCtx()
+	af := &AdaptiveFilter{Child: intRelation(vals), Pred: expr.Pred{Col: "x", Op: vec.LT, Val: expr.IntVal(500)},
+		BatchSize: 1 << 30} // one giant batch: stays branching at 50% sel
+	if _, err := af.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Meter.Snapshot().BranchMisses == 0 {
+		t.Error("mid-selectivity branching batch must charge branch misses")
+	}
+}

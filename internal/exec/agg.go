@@ -1,0 +1,208 @@
+package exec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/colstore"
+	"repro/internal/energy"
+	"repro/internal/expr"
+)
+
+// HashAgg groups by zero or more columns and computes aggregates.  With no
+// group-by columns it produces a single global row.
+type HashAgg struct {
+	Child   Node
+	GroupBy []string
+	Aggs    []expr.AggSpec
+}
+
+// Label implements Node.
+func (a *HashAgg) Label() string {
+	var parts []string
+	for _, g := range a.GroupBy {
+		parts = append(parts, g)
+	}
+	for _, s := range a.Aggs {
+		parts = append(parts, s.String())
+	}
+	return "HashAgg(" + strings.Join(parts, ", ") + ")"
+}
+
+// Kids implements Node.
+func (a *HashAgg) Kids() []Node { return []Node{a.Child} }
+
+// aggState accumulates one group.
+type aggState struct {
+	count  int64
+	sums   []float64
+	mins   []float64
+	maxs   []float64
+	seen   []bool
+	sample int32 // any row of the group, for group-key output
+}
+
+// Run implements Node.
+func (a *HashAgg) Run(ctx *Ctx) (*Relation, error) {
+	in, err := a.Child.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	groupCols := make([]*Col, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		c, err := in.Col(g)
+		if err != nil {
+			return nil, err
+		}
+		groupCols[i] = c
+	}
+	aggCols := make([]*Col, len(a.Aggs))
+	for i, s := range a.Aggs {
+		if s.Func == expr.AggCount && s.Col == "" {
+			continue // COUNT(*)
+		}
+		c, err := in.Col(s.Col)
+		if err != nil {
+			return nil, err
+		}
+		if c.Type == colstore.String && s.Func != expr.AggCount {
+			return nil, fmt.Errorf("exec: cannot %s a VARCHAR column", s.Func)
+		}
+		aggCols[i] = c
+	}
+
+	groups := make(map[string]*aggState)
+	order := make([]string, 0, 16) // first-seen order for deterministic output
+	var keyBuf []byte
+	for row := 0; row < in.N; row++ {
+		keyBuf = keyBuf[:0]
+		for _, c := range groupCols {
+			switch c.Type {
+			case colstore.Int64:
+				keyBuf = strconv.AppendInt(keyBuf, c.I[row], 10)
+			case colstore.Float64:
+				keyBuf = strconv.AppendFloat(keyBuf, c.F[row], 'g', -1, 64)
+			default:
+				keyBuf = append(keyBuf, c.S[row]...)
+			}
+			keyBuf = append(keyBuf, 0)
+		}
+		key := string(keyBuf)
+		st, ok := groups[key]
+		if !ok {
+			st = &aggState{
+				sums:   make([]float64, len(a.Aggs)),
+				mins:   make([]float64, len(a.Aggs)),
+				maxs:   make([]float64, len(a.Aggs)),
+				seen:   make([]bool, len(a.Aggs)),
+				sample: int32(row),
+			}
+			groups[key] = st
+			order = append(order, key)
+		}
+		st.count++
+		for i := range a.Aggs {
+			c := aggCols[i]
+			if c == nil {
+				continue
+			}
+			var v float64
+			if c.Type == colstore.Int64 {
+				v = float64(c.I[row])
+			} else {
+				v = c.F[row]
+			}
+			st.sums[i] += v
+			if !st.seen[i] || v < st.mins[i] {
+				st.mins[i] = v
+			}
+			if !st.seen[i] || v > st.maxs[i] {
+				st.maxs[i] = v
+			}
+			st.seen[i] = true
+		}
+	}
+
+	out := &Relation{N: len(order)}
+	// Group-key output columns.
+	for gi, g := range a.GroupBy {
+		src := groupCols[gi]
+		oc := Col{Name: g, Type: src.Type}
+		switch src.Type {
+		case colstore.Int64:
+			oc.I = make([]int64, len(order))
+		case colstore.Float64:
+			oc.F = make([]float64, len(order))
+		default:
+			oc.S = make([]string, len(order))
+		}
+		for i, key := range order {
+			row := groups[key].sample
+			switch src.Type {
+			case colstore.Int64:
+				oc.I[i] = src.I[row]
+			case colstore.Float64:
+				oc.F[i] = src.F[row]
+			default:
+				oc.S[i] = src.S[row]
+			}
+		}
+		out.Cols = append(out.Cols, oc)
+	}
+	// Aggregate output columns.
+	for ai, s := range a.Aggs {
+		name := s.As
+		if name == "" {
+			name = strings.ToLower(s.Func.String())
+			if s.Col != "" {
+				name += "_" + s.Col
+			}
+		}
+		intOut := s.Func == expr.AggCount ||
+			(aggCols[ai] != nil && aggCols[ai].Type == colstore.Int64 &&
+				(s.Func == expr.AggSum || s.Func == expr.AggMin || s.Func == expr.AggMax))
+		oc := Col{Name: name}
+		if intOut {
+			oc.Type = colstore.Int64
+			oc.I = make([]int64, len(order))
+		} else {
+			oc.Type = colstore.Float64
+			oc.F = make([]float64, len(order))
+		}
+		for i, key := range order {
+			st := groups[key]
+			var v float64
+			switch s.Func {
+			case expr.AggCount:
+				v = float64(st.count)
+			case expr.AggSum:
+				v = st.sums[ai]
+			case expr.AggMin:
+				v = st.mins[ai]
+			case expr.AggMax:
+				v = st.maxs[ai]
+			case expr.AggAvg:
+				if st.count > 0 {
+					v = st.sums[ai] / float64(st.count)
+				}
+			}
+			if intOut {
+				oc.I[i] = int64(v)
+			} else {
+				oc.F[i] = v
+			}
+		}
+		out.Cols = append(out.Cols, oc)
+	}
+
+	w := energy.Counters{
+		TuplesIn:      uint64(in.N),
+		TuplesOut:     uint64(len(order)),
+		Instructions:  uint64(in.N) * uint64(10+4*len(a.Aggs)),
+		CacheMisses:   uint64(in.N), // one hash probe per row
+		BytesReadDRAM: uint64(in.N) * 8 * uint64(len(a.GroupBy)+len(a.Aggs)),
+	}
+	ctx.charge(a.Label(), len(order), w)
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/compress"
+	"repro/internal/energy"
+	"repro/internal/netsim"
+)
+
+// Exchange ships its child's result over a simulated link, optionally
+// compressing integer columns with a codec.  This is the operator at the
+// heart of the paper's compress-vs-send example: spending CPU time and
+// energy on (de)compression to save transfer time and link energy, a
+// trade that flips with link speed (experiment E3).
+type Exchange struct {
+	Child Node
+	Link  *netsim.Link
+	Codec compress.Codec // nil or compress.None ships raw
+}
+
+// Label implements Node.
+func (e *Exchange) Label() string {
+	name := "none"
+	if e.Codec != nil {
+		name = e.Codec.Name()
+	}
+	return fmt.Sprintf("Exchange(link=%s, codec=%s)", e.Link.Name, name)
+}
+
+// Kids implements Node.
+func (e *Exchange) Kids() []Node { return []Node{e.Child} }
+
+// ShipReport summarizes one exchange for EXPLAIN/experiments.
+type ShipReport struct {
+	RawBytes  uint64
+	WireBytes uint64
+	CPUInstr  uint64 // compression + decompression instructions
+}
+
+// Run implements Node.
+func (e *Exchange) Run(ctx *Ctx) (*Relation, error) {
+	in, err := e.Child.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	_, rep, w, d := shipRelation(in, e.Link, e.Codec)
+	ctx.SimTime += d
+	ctx.charge(fmt.Sprintf("%s raw=%d wire=%d", e.Label(), rep.RawBytes, rep.WireBytes), in.N, w)
+	return in, nil
+}
+
+// shipRelation serializes a relation column-wise, ships it, and prices
+// the whole round (compress + wire + decompress).  Returns the report,
+// counters, and simulated wire time.
+func shipRelation(r *Relation, link *netsim.Link, codec compress.Codec) (*Relation, ShipReport, energy.Counters, time.Duration) {
+	if codec == nil {
+		codec = compress.None
+	}
+	var rep ShipReport
+	rep.RawBytes = r.Bytes()
+	var wire uint64
+	var cpuInstr uint64
+	for i := range r.Cols {
+		c := &r.Cols[i]
+		switch c.Type {
+		case colstore.Int64:
+			payload := codec.Compress(c.I)
+			wire += uint64(len(payload))
+			cpuInstr += uint64(float64(len(c.I)) * codec.CostFactor() * 2) // both ends
+		case colstore.Float64:
+			wire += uint64(len(c.F)) * 8
+		default:
+			for _, s := range c.S {
+				wire += uint64(len(s)) + 2
+			}
+		}
+	}
+	rep.WireBytes = wire
+	rep.CPUInstr = cpuInstr
+	d, w := link.Ship(wire)
+	w.Instructions += cpuInstr
+	w.BytesReadDRAM += rep.RawBytes
+	w.BytesWrittenDRAM += rep.RawBytes
+	return r, rep, w, d
+}

@@ -1,0 +1,102 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/colstore"
+	"repro/internal/energy"
+)
+
+// HashJoin is an inner equi-join: it builds a hash table on the right
+// (build) input and probes it with the left (probe) input.  The optimizer
+// puts the smaller relation on the build side.
+type HashJoin struct {
+	Left, Right       Node
+	LeftKey, RightKey string
+}
+
+// Label implements Node.
+func (j *HashJoin) Label() string {
+	return fmt.Sprintf("HashJoin(%s = %s)", j.LeftKey, j.RightKey)
+}
+
+// Kids implements Node.
+func (j *HashJoin) Kids() []Node { return []Node{j.Left, j.Right} }
+
+// Run implements Node.
+func (j *HashJoin) Run(ctx *Ctx) (*Relation, error) {
+	left, err := j.Left.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := j.Right.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	lk, err := left.Col(j.LeftKey)
+	if err != nil {
+		return nil, err
+	}
+	rk, err := right.Col(j.RightKey)
+	if err != nil {
+		return nil, err
+	}
+	if lk.Type != rk.Type {
+		return nil, fmt.Errorf("exec: join key type mismatch %v vs %v", lk.Type, rk.Type)
+	}
+
+	var lRows, rRows []int32
+	var w energy.Counters
+	switch lk.Type {
+	case colstore.Int64:
+		ht := make(map[int64][]int32, right.N)
+		for i := 0; i < right.N; i++ {
+			ht[rk.I[i]] = append(ht[rk.I[i]], int32(i))
+		}
+		for i := 0; i < left.N; i++ {
+			for _, r := range ht[lk.I[i]] {
+				lRows = append(lRows, int32(i))
+				rRows = append(rRows, r)
+			}
+		}
+	case colstore.String:
+		ht := make(map[string][]int32, right.N)
+		for i := 0; i < right.N; i++ {
+			ht[rk.S[i]] = append(ht[rk.S[i]], int32(i))
+		}
+		for i := 0; i < left.N; i++ {
+			for _, r := range ht[lk.S[i]] {
+				lRows = append(lRows, int32(i))
+				rRows = append(rRows, r)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("exec: cannot join on %v keys", lk.Type)
+	}
+	// Build: one miss per build tuple; probe: one miss per probe tuple.
+	w.TuplesIn = uint64(left.N + right.N)
+	w.TuplesOut = uint64(len(lRows))
+	w.Instructions = uint64(left.N+right.N)*12 + uint64(len(lRows))*4
+	w.CacheMisses = uint64(left.N + right.N)
+	w.BytesReadDRAM = uint64(left.N+right.N) * 8
+	ctx.charge(j.Label(), len(lRows), w)
+
+	lOut := left.gather(lRows)
+	rOut := right.gather(rRows)
+	out := &Relation{N: len(lRows)}
+	out.Cols = append(out.Cols, lOut.Cols...)
+	have := map[string]bool{}
+	for _, c := range lOut.Cols {
+		have[c.Name] = true
+	}
+	for _, c := range rOut.Cols {
+		if c.Name == j.RightKey {
+			continue // redundant with the left key
+		}
+		if have[c.Name] {
+			c.Name = "r_" + c.Name
+		}
+		out.Cols = append(out.Cols, c)
+	}
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/energy"
+)
+
+// Ctx carries the per-query measurement state through operator execution.
+type Ctx struct {
+	Meter     *energy.Meter // work accumulated by every operator
+	SimTime   time.Duration // simulated non-CPU time (link, disk)
+	OpReports []OpReport    // per-operator trace, in completion order
+}
+
+// NewCtx returns a fresh execution context.
+func NewCtx() *Ctx { return &Ctx{Meter: &energy.Meter{}} }
+
+// OpReport records what one operator did.
+type OpReport struct {
+	Label string
+	Rows  int
+	Work  energy.Counters
+}
+
+// charge books counters for an operator into the context.
+func (c *Ctx) charge(label string, rows int, w energy.Counters) {
+	c.Meter.Add(w)
+	c.OpReports = append(c.OpReports, OpReport{Label: label, Rows: rows, Work: w})
+}
+
+// Node is a physical plan operator.
+type Node interface {
+	// Run executes the subtree and returns its materialized result.
+	Run(ctx *Ctx) (*Relation, error)
+	// Label names the operator (with its key parameters) for EXPLAIN.
+	Label() string
+	// Kids returns the operator's inputs.
+	Kids() []Node
+}
+
+// Explain renders the plan tree as an indented outline.
+func Explain(n Node) string {
+	var b strings.Builder
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), n.Label())
+		for _, k := range n.Kids() {
+			walk(k, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}

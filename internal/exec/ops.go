@@ -1,0 +1,221 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/colstore"
+	"repro/internal/energy"
+	"repro/internal/expr"
+)
+
+// Filter applies conjunctive predicates to an intermediate relation (for
+// predicates that could not be pushed into a scan).
+type Filter struct {
+	Child Node
+	Preds []expr.Pred
+}
+
+// Label implements Node.
+func (f *Filter) Label() string {
+	ps := make([]string, len(f.Preds))
+	for i, p := range f.Preds {
+		ps[i] = p.String()
+	}
+	return "Filter(" + strings.Join(ps, " AND ") + ")"
+}
+
+// Kids implements Node.
+func (f *Filter) Kids() []Node { return []Node{f.Child} }
+
+// Run implements Node.
+func (f *Filter) Run(ctx *Ctx) (*Relation, error) {
+	in, err := f.Child.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]int32, 0, in.N)
+	var w energy.Counters
+	for i := 0; i < in.N; i++ {
+		ok := true
+		for _, p := range f.Preds {
+			c, err := in.Col(p.Col)
+			if err != nil {
+				return nil, err
+			}
+			switch c.Type {
+			case colstore.Int64:
+				ok = cmpInt(p.Op, c.I[i], p.Val.I)
+			case colstore.Float64:
+				ok = cmpFloat(p.Op, c.F[i], p.Val.F)
+			default:
+				ok = cmpStr(p.Op, c.S[i], p.Val.S)
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			rows = append(rows, int32(i))
+		}
+	}
+	w.TuplesIn = uint64(in.N)
+	w.TuplesOut = uint64(len(rows))
+	w.Instructions = uint64(in.N) * uint64(3*len(f.Preds)+2)
+	w.BytesReadDRAM = uint64(in.N) * 8 * uint64(len(f.Preds))
+	ctx.charge(f.Label(), len(rows), w)
+	return in.gather(rows), nil
+}
+
+// Project keeps only the named columns, in order.
+type Project struct {
+	Child Node
+	Names []string
+}
+
+// Label implements Node.
+func (p *Project) Label() string { return "Project(" + strings.Join(p.Names, ", ") + ")" }
+
+// Kids implements Node.
+func (p *Project) Kids() []Node { return []Node{p.Child} }
+
+// Run implements Node.
+func (p *Project) Run(ctx *Ctx) (*Relation, error) {
+	in, err := p.Child.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{N: in.N}
+	for _, name := range p.Names {
+		c, err := in.Col(name)
+		if err != nil {
+			return nil, err
+		}
+		out.Cols = append(out.Cols, *c)
+	}
+	ctx.charge(p.Label(), in.N, energy.Counters{Instructions: uint64(len(p.Names)) * 4})
+	return out, nil
+}
+
+// Sort orders rows by the given keys.
+type Sort struct {
+	Child Node
+	Keys  []expr.SortKey
+}
+
+// Label implements Node.
+func (s *Sort) Label() string {
+	ks := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		ks[i] = k.String()
+	}
+	return "Sort(" + strings.Join(ks, ", ") + ")"
+}
+
+// Kids implements Node.
+func (s *Sort) Kids() []Node { return []Node{s.Child} }
+
+// Run implements Node.
+func (s *Sort) Run(ctx *Ctx) (*Relation, error) {
+	in, err := s.Child.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	keyCols := make([]*Col, len(s.Keys))
+	for i, k := range s.Keys {
+		c, err := in.Col(k.Col)
+		if err != nil {
+			return nil, err
+		}
+		keyCols[i] = c
+	}
+	perm := make([]int32, in.N)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		ra, rb := perm[a], perm[b]
+		for i, k := range s.Keys {
+			c := keyCols[i]
+			var cmp int
+			switch c.Type {
+			case colstore.Int64:
+				cmp = cmpOrderInt(c.I[ra], c.I[rb])
+			case colstore.Float64:
+				cmp = cmpOrderFloat(c.F[ra], c.F[rb])
+			default:
+				cmp = strings.Compare(c.S[ra], c.S[rb])
+			}
+			if cmp != 0 {
+				if k.Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	// n log n comparisons, each touching the key columns.
+	logN := 1
+	for v := in.N; v > 1; v >>= 1 {
+		logN++
+	}
+	w := energy.Counters{
+		TuplesIn:     uint64(in.N),
+		TuplesOut:    uint64(in.N),
+		Instructions: uint64(in.N) * uint64(logN) * 8,
+		CacheMisses:  uint64(in.N) * uint64(logN) / 8,
+	}
+	ctx.charge(s.Label(), in.N, w)
+	return in.gather(perm), nil
+}
+
+func cmpOrderInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpOrderFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// Limit keeps the first N rows.
+type Limit struct {
+	Child Node
+	N     int
+}
+
+// Label implements Node.
+func (l *Limit) Label() string { return fmt.Sprintf("Limit(%d)", l.N) }
+
+// Kids implements Node.
+func (l *Limit) Kids() []Node { return []Node{l.Child} }
+
+// Run implements Node.
+func (l *Limit) Run(ctx *Ctx) (*Relation, error) {
+	in, err := l.Child.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if l.N >= in.N {
+		return in, nil
+	}
+	rows := make([]int32, l.N)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	ctx.charge(l.Label(), l.N, energy.Counters{TuplesIn: uint64(in.N), TuplesOut: uint64(l.N)})
+	return in.gather(rows), nil
+}

@@ -1,0 +1,137 @@
+// Package exec is the vectorized execution engine: operator-at-a-time
+// physical operators (scan variants, filter, project, hash join, hash
+// aggregation, sort, limit, exchange) over the column store, in the
+// MonetDB-style materialized model that dominated the paper's era.  Every
+// operator records the work it performs in energy counters so whole plans
+// can be priced in joules as well as seconds.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/colstore"
+)
+
+// Col is one materialized column of an intermediate result.  Exactly one
+// of I/F/S is non-nil, matching Type.
+type Col struct {
+	Name string
+	Type colstore.Type
+	I    []int64
+	F    []float64
+	S    []string
+}
+
+// Len returns the column's row count.
+func (c *Col) Len() int {
+	switch c.Type {
+	case colstore.Int64:
+		return len(c.I)
+	case colstore.Float64:
+		return len(c.F)
+	default:
+		return len(c.S)
+	}
+}
+
+// Relation is a materialized intermediate result.
+type Relation struct {
+	Cols []Col
+	N    int
+}
+
+// NewRelation builds a relation from columns, validating equal lengths.
+func NewRelation(cols ...Col) (*Relation, error) {
+	r := &Relation{Cols: cols}
+	for i := range cols {
+		n := cols[i].Len()
+		if i == 0 {
+			r.N = n
+		} else if n != r.N {
+			return nil, fmt.Errorf("exec: column %q has %d rows, expected %d", cols[i].Name, n, r.N)
+		}
+	}
+	return r, nil
+}
+
+// Col returns the named column.
+func (r *Relation) Col(name string) (*Col, error) {
+	for i := range r.Cols {
+		if r.Cols[i].Name == name {
+			return &r.Cols[i], nil
+		}
+	}
+	return nil, fmt.Errorf("exec: relation has no column %q", name)
+}
+
+// ColNames lists the column names in order.
+func (r *Relation) ColNames() []string {
+	out := make([]string, len(r.Cols))
+	for i := range r.Cols {
+		out[i] = r.Cols[i].Name
+	}
+	return out
+}
+
+// Bytes approximates the materialized size (for exchange and memory
+// accounting).
+func (r *Relation) Bytes() uint64 {
+	var b uint64
+	for i := range r.Cols {
+		c := &r.Cols[i]
+		switch c.Type {
+		case colstore.Int64, colstore.Float64:
+			b += uint64(c.Len()) * 8
+		default:
+			for _, s := range c.S {
+				b += uint64(len(s)) + 16
+			}
+		}
+	}
+	return b
+}
+
+// gather returns a new relation containing the given rows (in order).
+func (r *Relation) gather(rows []int32) *Relation {
+	out := &Relation{N: len(rows), Cols: make([]Col, len(r.Cols))}
+	for ci := range r.Cols {
+		src := &r.Cols[ci]
+		dst := Col{Name: src.Name, Type: src.Type}
+		switch src.Type {
+		case colstore.Int64:
+			dst.I = make([]int64, len(rows))
+			for i, row := range rows {
+				dst.I[i] = src.I[row]
+			}
+		case colstore.Float64:
+			dst.F = make([]float64, len(rows))
+			for i, row := range rows {
+				dst.F[i] = src.F[row]
+			}
+		default:
+			dst.S = make([]string, len(rows))
+			for i, row := range rows {
+				dst.S[i] = src.S[row]
+			}
+		}
+		out.Cols[ci] = dst
+	}
+	return out
+}
+
+// Row renders row i as a value slice (diagnostics, CLI output).
+func (r *Relation) Row(i int) []any {
+	out := make([]any, len(r.Cols))
+	for ci := range r.Cols {
+		c := &r.Cols[ci]
+		switch c.Type {
+		case colstore.Int64:
+			out[ci] = c.I[i]
+		case colstore.Float64:
+			out[ci] = c.F[i]
+		default:
+			out[ci] = c.S[i]
+		}
+	}
+	return out
+}

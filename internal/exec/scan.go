@@ -1,0 +1,402 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/colstore"
+	"repro/internal/energy"
+	"repro/internal/expr"
+	"repro/internal/index"
+	"repro/internal/vec"
+)
+
+// AccessKind selects how a scan reaches its rows.
+type AccessKind int
+
+// The access paths the optimizer chooses between (experiment E2).
+const (
+	// FullScan streams every segment (packed word-parallel where sealed).
+	FullScan AccessKind = iota
+	// IndexAccess fetches candidate rows from a secondary index, then
+	// verifies remaining predicates with point reads.
+	IndexAccess
+)
+
+// AccessSpec configures the access path of a Scan node.
+type AccessSpec struct {
+	Kind AccessKind
+	// Index and IndexCol are set for IndexAccess: the index serves the
+	// predicate on IndexCol; all other predicates are verified per row.
+	Index    index.Index
+	IndexCol string
+}
+
+// Scan reads from a base table with conjunctive predicates pushed down.
+type Scan struct {
+	Table  *colstore.Table
+	Select []string // output columns; empty = all
+	Preds  []expr.Pred
+	Access AccessSpec
+}
+
+// Label implements Node.
+func (s *Scan) Label() string {
+	var parts []string
+	if s.Access.Kind == IndexAccess {
+		parts = append(parts, fmt.Sprintf("IndexScan(%s via %s[%s])", s.Table.Name, s.Access.Index.Name(), s.Access.IndexCol))
+	} else {
+		parts = append(parts, fmt.Sprintf("Scan(%s)", s.Table.Name))
+	}
+	for _, p := range s.Preds {
+		parts = append(parts, p.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+// Kids implements Node.
+func (s *Scan) Kids() []Node { return nil }
+
+// Run implements Node.
+func (s *Scan) Run(ctx *Ctx) (*Relation, error) {
+	n := s.Table.Rows()
+	var rows []int32
+	var err error
+	if s.Access.Kind == IndexAccess {
+		rows, err = s.indexRows(ctx, n)
+	} else {
+		rows, err = s.scanRows(ctx, n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.materialize(ctx, rows)
+}
+
+// scanRows evaluates all predicates with column scans and returns the
+// selected row ids.
+func (s *Scan) scanRows(ctx *Ctx, n int) ([]int32, error) {
+	sel := vec.NewBitvec(n)
+	sel.SetAll()
+	for _, p := range s.Preds {
+		pb := vec.NewBitvec(n)
+		ctr, err := s.scanPred(p, pb)
+		if err != nil {
+			return nil, err
+		}
+		ctx.charge("scan:"+p.String(), pb.Count(), ctr)
+		sel.And(pb)
+	}
+	if len(s.Preds) == 0 {
+		ctx.charge("scan:all", n, energy.Counters{TuplesIn: uint64(n)})
+	}
+	return sel.Indices(), nil
+}
+
+// scanPred dispatches one predicate to the typed column scan.
+func (s *Scan) scanPred(p expr.Pred, out *vec.Bitvec) (energy.Counters, error) {
+	col, err := s.Table.Column(p.Col)
+	if err != nil {
+		return energy.Counters{}, err
+	}
+	switch c := col.(type) {
+	case *colstore.IntColumn:
+		if p.Val.Kind != colstore.Int64 {
+			return energy.Counters{}, fmt.Errorf("exec: predicate %s: column is BIGINT", p)
+		}
+		ctr, _ := c.Scan(p.Op, p.Val.I, out)
+		return ctr, nil
+	case *colstore.FloatColumn:
+		if p.Val.Kind != colstore.Float64 {
+			return energy.Counters{}, fmt.Errorf("exec: predicate %s: column is DOUBLE", p)
+		}
+		return c.Scan(p.Op, p.Val.F, out), nil
+	case *colstore.StringColumn:
+		if p.Val.Kind != colstore.String {
+			return energy.Counters{}, fmt.Errorf("exec: predicate %s: column is VARCHAR", p)
+		}
+		return s.scanStringPred(c, p, out)
+	}
+	return energy.Counters{}, fmt.Errorf("exec: unsupported column type for %q", p.Col)
+}
+
+// scanStringPred maps string comparisons onto the dictionary-coded
+// column.
+func (s *Scan) scanStringPred(c *colstore.StringColumn, p expr.Pred, out *vec.Bitvec) (energy.Counters, error) {
+	switch p.Op {
+	case vec.EQ:
+		ctr, _ := c.ScanEq(p.Val.S, out)
+		return ctr, nil
+	case vec.NE:
+		ctr, _ := c.ScanEq(p.Val.S, out)
+		out.Not()
+		return ctr, nil
+	case vec.LT:
+		ctr, _ := c.ScanRange("", p.Val.S, out)
+		return ctr, nil
+	case vec.GE:
+		ctr, _ := c.ScanRange("", p.Val.S, out)
+		out.Not()
+		return ctr, nil
+	default:
+		// LE / GT via per-row comparison fallback.
+		var ctr energy.Counters
+		for i := 0; i < c.Len(); i++ {
+			v := c.Get(i)
+			if (p.Op == vec.LE && v <= p.Val.S) || (p.Op == vec.GT && v > p.Val.S) {
+				out.Set(i)
+			}
+		}
+		ctr.TuplesIn = uint64(c.Len())
+		ctr.Instructions = uint64(c.Len()) * 12
+		ctr.CacheMisses = uint64(c.Len()) / 4
+		return ctr, nil
+	}
+}
+
+// indexRows serves the IndexCol predicate from the index and verifies the
+// remaining predicates row by row (random access, priced as cache
+// misses).
+func (s *Scan) indexRows(ctx *Ctx, n int) ([]int32, error) {
+	var keyPred *expr.Pred
+	var rest []expr.Pred
+	for i := range s.Preds {
+		if s.Preds[i].Col == s.Access.IndexCol && keyPred == nil {
+			keyPred = &s.Preds[i]
+		} else {
+			rest = append(rest, s.Preds[i])
+		}
+	}
+	if keyPred == nil {
+		return nil, fmt.Errorf("exec: index access on %q without a predicate on it", s.Access.IndexCol)
+	}
+	if keyPred.Val.Kind != colstore.Int64 {
+		return nil, fmt.Errorf("exec: index access requires BIGINT predicate, got %s", keyPred)
+	}
+	var cand []int32
+	var ctr energy.Counters
+	lc := s.Access.Index.LookupCost()
+	switch keyPred.Op {
+	case vec.EQ:
+		cand = append(cand, s.Access.Index.Lookup(keyPred.Val.I)...)
+		ctr.Add(lc)
+	case vec.LT, vec.LE, vec.GT, vec.GE:
+		if !s.Access.Index.SupportsRange() {
+			return nil, fmt.Errorf("exec: %s index cannot serve range predicate %s", s.Access.Index.Name(), keyPred)
+		}
+		lo, hi := rangeBounds(keyPred.Op, keyPred.Val.I)
+		s.Access.Index.Range(lo, hi, func(k int64, rows []int32) bool {
+			cand = append(cand, rows...)
+			ctr.Instructions += 8
+			ctr.CacheMisses++
+			return true
+		})
+		ctr.Add(lc)
+	default:
+		return nil, fmt.Errorf("exec: index access cannot serve %s", keyPred)
+	}
+	// Index postings arrive key-ordered; downstream operators expect row
+	// order for stable results.
+	sortInt32(cand)
+	// Verify remaining predicates with point reads.
+	rows := make([]int32, 0, len(cand))
+	for _, r := range cand {
+		ok, w, err := s.rowMatches(int(r), rest)
+		ctr.Add(w)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			rows = append(rows, r)
+		}
+	}
+	ctr.TuplesIn = uint64(len(cand))
+	ctr.TuplesOut = uint64(len(rows))
+	ctx.charge(fmt.Sprintf("index:%s", keyPred), len(rows), ctr)
+	return rows, nil
+}
+
+// rangeBounds converts an inequality into inclusive index bounds.
+func rangeBounds(op vec.CmpOp, c int64) (lo, hi int64) {
+	const minI, maxI = -1 << 62, 1 << 62
+	switch op {
+	case vec.LT:
+		return minI, c - 1
+	case vec.LE:
+		return minI, c
+	case vec.GT:
+		return c + 1, maxI
+	case vec.GE:
+		return c, maxI
+	}
+	return 0, -1
+}
+
+// rowMatches verifies predicates against a single row via point reads.
+func (s *Scan) rowMatches(row int, preds []expr.Pred) (bool, energy.Counters, error) {
+	var w energy.Counters
+	for _, p := range preds {
+		col, err := s.Table.Column(p.Col)
+		if err != nil {
+			return false, w, err
+		}
+		w.CacheMisses++
+		w.Instructions += 6
+		switch c := col.(type) {
+		case *colstore.IntColumn:
+			if !cmpInt(p.Op, c.Get(row), p.Val.I) {
+				return false, w, nil
+			}
+		case *colstore.FloatColumn:
+			if !cmpFloat(p.Op, c.Get(row), p.Val.F) {
+				return false, w, nil
+			}
+		case *colstore.StringColumn:
+			if !cmpStr(p.Op, c.Get(row), p.Val.S) {
+				return false, w, nil
+			}
+		}
+	}
+	return true, w, nil
+}
+
+// materialize gathers the selected rows of the projected columns.
+func (s *Scan) materialize(ctx *Ctx, rows []int32) (*Relation, error) {
+	names := s.Select
+	if len(names) == 0 {
+		for _, d := range s.Table.Schema() {
+			names = append(names, d.Name)
+		}
+	}
+	out := &Relation{N: len(rows), Cols: make([]Col, 0, len(names))}
+	var w energy.Counters
+	for _, name := range names {
+		col, err := s.Table.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		oc := Col{Name: name, Type: col.Type()}
+		switch c := col.(type) {
+		case *colstore.IntColumn:
+			oc.I = make([]int64, len(rows))
+			for i, r := range rows {
+				oc.I[i] = c.Get(int(r))
+			}
+		case *colstore.FloatColumn:
+			oc.F = make([]float64, len(rows))
+			for i, r := range rows {
+				oc.F[i] = c.Get(int(r))
+			}
+		case *colstore.StringColumn:
+			oc.S = make([]string, len(rows))
+			for i, r := range rows {
+				oc.S[i] = c.Get(int(r))
+			}
+		}
+		out.Cols = append(out.Cols, oc)
+	}
+	// Gathers are random access: roughly one cache-line touch per value.
+	w.CacheMisses = uint64(len(rows)*len(names)) / 4
+	w.Instructions = uint64(len(rows)*len(names)) * 2
+	w.TuplesOut = uint64(len(rows))
+	ctx.charge("materialize", len(rows), w)
+	return out, nil
+}
+
+func cmpInt(op vec.CmpOp, a, b int64) bool {
+	switch op {
+	case vec.LT:
+		return a < b
+	case vec.LE:
+		return a <= b
+	case vec.GT:
+		return a > b
+	case vec.GE:
+		return a >= b
+	case vec.EQ:
+		return a == b
+	case vec.NE:
+		return a != b
+	}
+	return false
+}
+
+func cmpFloat(op vec.CmpOp, a, b float64) bool {
+	switch op {
+	case vec.LT:
+		return a < b
+	case vec.LE:
+		return a <= b
+	case vec.GT:
+		return a > b
+	case vec.GE:
+		return a >= b
+	case vec.EQ:
+		return a == b
+	case vec.NE:
+		return a != b
+	}
+	return false
+}
+
+func cmpStr(op vec.CmpOp, a, b string) bool {
+	switch op {
+	case vec.LT:
+		return a < b
+	case vec.LE:
+		return a <= b
+	case vec.GT:
+		return a > b
+	case vec.GE:
+		return a >= b
+	case vec.EQ:
+		return a == b
+	case vec.NE:
+		return a != b
+	}
+	return false
+}
+
+// sortInt32 sorts ascending (tiny insertion/quick hybrid via stdlib-free
+// approach would be overkill; use a simple quicksort).
+func sortInt32(a []int32) {
+	if len(a) < 2 {
+		return
+	}
+	quickInt32(a, 0, len(a)-1)
+}
+
+func quickInt32(a []int32, lo, hi int) {
+	for lo < hi {
+		if hi-lo < 12 {
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && a[j] < a[j-1]; j-- {
+					a[j], a[j-1] = a[j-1], a[j]
+				}
+			}
+			return
+		}
+		p := a[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < p {
+				i++
+			}
+			for a[j] > p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if j-lo < hi-i {
+			quickInt32(a, lo, j)
+			lo = i
+		} else {
+			quickInt32(a, i, hi)
+			hi = j
+		}
+	}
+}

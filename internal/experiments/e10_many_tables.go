@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/opt"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E10",
+		Title: "join ordering beyond 10,000 tables",
+		Claim: "\"100s or even 1.000s of (weakly structured) tables within a single database query are common. Current compilation (especially optimization) components ... are not able to cope with this situation\" (§II)",
+		Run:   runE10,
+	})
+}
+
+// E10Row is one query-size measurement.
+type E10Row struct {
+	Tables     int
+	DPTime     time.Duration // 0 when DP not attempted
+	GreedyTime time.Duration
+	CostRatio  float64 // greedy/DP plan cost (1.0 = optimal), 0 when DP skipped
+	Exact      bool
+}
+
+// E10Sweep builds chain-with-hubs join graphs of growing size and
+// measures the compile time of the exact DP versus the greedy heuristic.
+func E10Sweep() []E10Row {
+	mkGraph := func(n int) *opt.JoinGraph {
+		rng := workload.NewRNG(uint64(n))
+		tables := make([]opt.JoinTable, n)
+		for i := range tables {
+			tables[i] = opt.JoinTable{Name: fmt.Sprintf("t%d", i), Rows: float64(100 + rng.Intn(1_000_000))}
+		}
+		g := opt.NewJoinGraph(tables)
+		for i := 1; i < n; i++ {
+			g.AddEdge(i-1, i, 1/float64(100+rng.Intn(10_000)))
+		}
+		// Star hub every 100 tables (web-style entity joins).
+		for i := 100; i < n; i += 100 {
+			g.AddEdge(0, i, 1e-3)
+		}
+		return g
+	}
+	var out []E10Row
+	for _, n := range []int{4, 8, 12, 100, 1_000, 5_000, 10_000, 20_000} {
+		g := mkGraph(n)
+		row := E10Row{Tables: n}
+		var dpCost float64
+		if n <= opt.DPLimit {
+			start := time.Now()
+			_, dpCost = g.OrderDP()
+			row.DPTime = time.Since(start)
+			row.Exact = true
+		}
+		start := time.Now()
+		_, gCost := g.OrderGreedy()
+		row.GreedyTime = time.Since(start)
+		if row.Exact && dpCost > 0 {
+			row.CostRatio = gCost / dpCost
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func runE10(w io.Writer) error {
+	rows := E10Sweep()
+	tw := newTable(w)
+	fmt.Fprintln(tw, "tables\tDP-compile\tgreedy-compile\tgreedy/DP-cost\tmode")
+	for _, r := range rows {
+		dp := "-"
+		if r.Exact {
+			dp = r.DPTime.Round(time.Microsecond).String()
+		}
+		ratio := "-"
+		if r.CostRatio > 0 {
+			ratio = fmt.Sprintf("%.2fx", r.CostRatio)
+		}
+		mode := "greedy"
+		if r.Exact {
+			mode = "DP+greedy"
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%v\t%s\t%s\n",
+			r.Tables, dp, r.GreedyTime.Round(time.Microsecond), ratio, mode)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nshape: exact DP is exponential and stops at 12 tables; greedy stays")
+	fmt.Fprintln(w, "sub-second at 20,000 tables with near-optimal cost where comparable.")
+	return nil
+}

@@ -1,0 +1,97 @@
+// Package experiments implements the reproduction harness: one runnable
+// module per experiment in EXPERIMENTS.md (E1–E14), each printing the
+// table or series the paper's claim corresponds to.  cmd/eimdb-bench is
+// the CLI front end; the root bench_test.go exercises the same modules
+// under testing.B.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/colstore"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Experiment is one reproducible unit.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string // the paper text being checked
+	Run   func(w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool {
+		// E1..E14: numeric order on the suffix.
+		var a, b int
+		fmt.Sscanf(out[i].ID, "E%d", &a)
+		fmt.Sscanf(out[j].ID, "E%d", &b)
+		return a < b
+	})
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// newTable returns a tabwriter for aligned experiment output.
+func newTable(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// ordersEngine builds an engine with the standard orders table of n rows
+// (shared by several experiments).
+func ordersEngine(n int) (*core.Engine, error) {
+	e := core.Open()
+	o := workload.GenOrders(42, n, n/100+10, 1.1)
+	tab, err := e.CreateTable("orders", colstore.Schema{
+		{Name: "id", Type: colstore.Int64},
+		{Name: "custkey", Type: colstore.Int64},
+		{Name: "region", Type: colstore.String},
+		{Name: "amount", Type: colstore.Float64},
+		{Name: "day", Type: colstore.Int64},
+	})
+	if err != nil {
+		return nil, err
+	}
+	regions := make([]string, n)
+	for i, r := range o.Region {
+		regions[i] = workload.RegionNames[r]
+	}
+	if err := tab.LoadInt64("id", o.OrderID); err != nil {
+		return nil, err
+	}
+	if err := tab.LoadInt64("custkey", o.CustKey); err != nil {
+		return nil, err
+	}
+	if err := tab.LoadString("region", regions); err != nil {
+		return nil, err
+	}
+	if err := tab.LoadFloat64("amount", o.Amount); err != nil {
+		return nil, err
+	}
+	if err := tab.LoadInt64("day", o.OrderDay); err != nil {
+		return nil, err
+	}
+	if err := e.Seal("orders"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

@@ -1,0 +1,330 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Fatalf("expected 17 experiments (E1-E14 + extensions E15-E17), have %d", len(all))
+	}
+	for i, e := range all {
+		if want := fmt.Sprintf("E%d", i+1); e.ID != want {
+			t.Errorf("experiment %d has ID %q, want %q", i+1, e.ID, want)
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+	if _, err := ByID("E3"); err != nil {
+		t.Error("ByID(E3) failed")
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown ID must error")
+	}
+}
+
+func TestE1CurveShape(t *testing.T) {
+	points := E1Curve()
+	if len(points) < 5 {
+		t.Fatal("need a sweep")
+	}
+	first, last := points[0], points[len(points)-1]
+	if first.Cap >= last.Cap {
+		t.Fatal("caps must be ascending")
+	}
+	// Tight cap must be slower and allow fewer cores than the loose cap.
+	if first.AvgLatency <= last.AvgLatency {
+		t.Errorf("tight cap must be slower: %v vs %v", first.AvgLatency, last.AvgLatency)
+	}
+	if first.Cores >= last.Cores {
+		t.Errorf("tight cap must allow fewer cores: %d vs %d", first.Cores, last.Cores)
+	}
+	if first.Throughput >= last.Throughput {
+		t.Errorf("tight cap must cut throughput: %g vs %g", first.Throughput, last.Throughput)
+	}
+	// Plan choice must differ between the extremes (the Fig. 2 switch).
+	if first.PlanChosen == last.PlanChosen {
+		t.Errorf("plan choice should flip across the cap sweep, both %q", first.PlanChosen)
+	}
+}
+
+func TestE2CrossoverShape(t *testing.T) {
+	rows, err := E2Sweep(300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Winner != "index" {
+		t.Errorf("needle selectivity must favor the index: %+v", rows[0])
+	}
+	lastRow := rows[len(rows)-1]
+	if lastRow.Winner != "scan" {
+		t.Errorf("50%% selectivity must favor the scan: %+v", lastRow)
+	}
+	// The planner must agree with the measurement at both extremes.
+	if rows[0].PlannerPick != "index" || lastRow.PlannerPick != "scan" {
+		t.Errorf("planner disagrees at the extremes: %+v / %+v", rows[0], lastRow)
+	}
+}
+
+func TestE3AgreementAndShape(t *testing.T) {
+	rows := E3Matrix(200_000)
+	agree := 0
+	var slowRuns, fastUniform *E3Row
+	for i := range rows {
+		r := &rows[i]
+		if r.Agreement {
+			agree++
+		}
+		if r.Data == "runs(avg100)" && r.Link == "0.1Gbps" {
+			slowRuns = r
+		}
+		if r.Data == "uniform62bit" && r.Link == "40Gbps" {
+			fastUniform = r
+		}
+	}
+	if agree < len(rows)*3/4 {
+		t.Errorf("estimator agrees on only %d/%d cells", agree, len(rows))
+	}
+	if slowRuns == nil || slowRuns.Chosen == "none" {
+		t.Errorf("slow link + compressible data must compress: %+v", slowRuns)
+	}
+	if fastUniform == nil || (fastUniform.Chosen != "none" && fastUniform.Ratio < 0.9) {
+		t.Errorf("fast link + incompressible data should ship (near) raw: %+v", fastUniform)
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	rows := E5Sweep()
+	// At the lowest rate, race-to-idle must beat always-on on J/query.
+	var on, rti *E5Row
+	for i := range rows {
+		r := &rows[i]
+		if r.Rate == 50 && r.Policy == sched.AlwaysOn {
+			on = r
+		}
+		if r.Rate == 50 && r.Policy == sched.RaceToIdle {
+			rti = r
+		}
+	}
+	if on == nil || rti == nil {
+		t.Fatal("sweep missing expected points")
+	}
+	if rti.JPerQuery >= on.JPerQuery {
+		t.Errorf("race-to-idle must save energy at low load: %v vs %v", rti.JPerQuery, on.JPerQuery)
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	rows := E6Placements()
+	find := func(placement, op string) *E6Row {
+		for i := range rows {
+			if rows[i].Placement == placement && strings.Contains(rows[i].Op, op) {
+				return &rows[i]
+			}
+		}
+		return nil
+	}
+	dramPoint := find("all-DRAM", "point")
+	hddPoint := find("all-HDD", "point")
+	agedPoint := find("aged", "point")
+	if dramPoint == nil || hddPoint == nil || agedPoint == nil {
+		t.Fatal("missing rows")
+	}
+	if hddPoint.Time < dramPoint.Time*100 {
+		t.Errorf("HDD point access must be orders slower: %v vs %v", hddPoint.Time, dramPoint.Time)
+	}
+	if agedPoint.Time != dramPoint.Time {
+		t.Errorf("aged placement must keep hot point access at DRAM speed: %v vs %v",
+			agedPoint.Time, dramPoint.Time)
+	}
+	if len(E6Aging()) == 0 {
+		t.Error("aging must migrate the cold fragment")
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	rows := E7Kernels(400_000, 2)
+	// Word-parallel must beat branching at 50% selectivity for narrow
+	// codes (the SIMD-substitute claim).
+	var branch50, packed50 *E7Row
+	for i := range rows {
+		r := &rows[i]
+		if r.Width == 8 && r.Selectivity == 0.5 {
+			switch r.Kernel {
+			case "branching":
+				branch50 = r
+			case "word-parallel":
+				packed50 = r
+			}
+		}
+	}
+	if branch50 == nil || packed50 == nil {
+		t.Fatal("missing kernel rows")
+	}
+	if packed50.MTuplesSec <= branch50.MTuplesSec {
+		t.Errorf("word-parallel (%g Mt/s) must beat branching (%g Mt/s) at 8-bit codes",
+			packed50.MTuplesSec, branch50.MTuplesSec)
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	rows := E8Sweep()
+	// Long query failing late: checkpoint must waste far less than rerun.
+	var rerun, ckpt *E8Row
+	for i := range rows {
+		r := &rows[i]
+		if r.Stages == 40 && r.FailFrac == 0.9 {
+			if r.Policy.Every == 0 {
+				rerun = r
+			} else {
+				ckpt = r
+			}
+		}
+	}
+	if rerun == nil || ckpt == nil {
+		t.Fatal("missing rows")
+	}
+	if ckpt.Wasted*4 > rerun.Wasted {
+		t.Errorf("checkpointing must cut waste at least 4x for late failures: %v vs %v",
+			ckpt.Wasted, rerun.Wasted)
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	rows := E9Sweep()
+	// Within a fixed window, latency must rise with level.
+	var prev *E9Row
+	for i := range rows {
+		r := &rows[i]
+		if r.Window != 0 {
+			continue
+		}
+		if prev != nil && r.AvgLat < prev.AvgLat {
+			t.Errorf("%v avg latency %v below %v's %v", r.Level, r.AvgLat, prev.Level, prev.AvgLat)
+		}
+		prev = r
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	rows := E10Sweep()
+	last := rows[len(rows)-1]
+	if last.Tables != 20_000 {
+		t.Fatal("sweep must reach 20k tables")
+	}
+	if last.GreedyTime.Seconds() > 30 {
+		t.Errorf("greedy at 20k tables took %v", last.GreedyTime)
+	}
+	for _, r := range rows {
+		if r.Exact && r.CostRatio != 0 && r.CostRatio < 0.999 {
+			t.Errorf("greedy cannot beat the exact DP: ratio %g at %d tables", r.CostRatio, r.Tables)
+		}
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	res := E11Run(6000)
+	if res.Elastic.TotalEnergy >= res.Static.TotalEnergy {
+		t.Errorf("elastic must save energy: %v vs %v", res.Elastic.TotalEnergy, res.Static.TotalEnergy)
+	}
+	if res.Static.TotalDrop != 0 {
+		t.Error("static peak provisioning must not drop")
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	rows, err := E12Sweep(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Mode.String() == "deferred" && r.Reads == 0 && r.MaintOps != 0 {
+			t.Errorf("deferred with no readers must do zero maintenance: %+v", r)
+		}
+		if r.Mode.String() == "eager" && r.MaintOps != r.Inserts {
+			t.Errorf("eager must pay per insert: %+v", r)
+		}
+	}
+}
+
+func TestE15Shape(t *testing.T) {
+	rows := E15Sweep()
+	for _, r := range rows {
+		if r.Ops == 3 && r.Device == "gpu0" && r.TimePick != 0 /* OnCPU */ {
+			t.Errorf("plain scans must stay on CPU: %+v", r)
+		}
+		if r.Ops == 64 && r.N == 100_000_000 && r.Device == "gpu0" && r.TimePick == 0 {
+			t.Errorf("compute-dense 100M values must offload: %+v", r)
+		}
+	}
+}
+
+func TestE16Shape(t *testing.T) {
+	aware, obliv := E16Schedules()
+	if aware.TotalTime >= obliv.TotalTime {
+		t.Errorf("NUMA-aware must win: %v vs %v", aware.TotalTime, obliv.TotalTime)
+	}
+	sharing := E16Sharing()
+	last := sharing[len(sharing)-1]
+	if last.Explicit >= last.Coherent {
+		t.Errorf("16 reuse rounds must favor explicit placement: %v vs %v", last.Explicit, last.Coherent)
+	}
+}
+
+func TestE17Shape(t *testing.T) {
+	rows, err := E17Sweep(4, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]E17Row{}
+	for _, r := range rows {
+		byKey[r.Link+"/"+r.Strategy.String()] = r
+	}
+	slowRaw := byKey["0.1Gbps/ship-raw"]
+	slowPush := byKey["0.1Gbps/pushdown"]
+	if slowPush.WireBytes*10 >= slowRaw.WireBytes {
+		t.Errorf("pushdown must ship far less: %d vs %d", slowPush.WireBytes, slowRaw.WireBytes)
+	}
+	if slowPush.Energy >= slowRaw.Energy {
+		t.Errorf("pushdown must win energy on the slow link: %v vs %v", slowPush.Energy, slowRaw.Energy)
+	}
+	fastRaw := byKey["40Gbps/ship-raw"]
+	if fastRaw.Transfer >= slowRaw.Transfer {
+		t.Error("faster link must cut transfer time")
+	}
+}
+
+func TestE14Equivalence(t *testing.T) {
+	res, err := E14Check(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PlansEqual || !res.RowsEqual {
+		t.Fatalf("hybrid language fronts diverge: %+v", res)
+	}
+}
+
+func TestAllExperimentsRunSmall(t *testing.T) {
+	// Smoke: every registered experiment must run to completion and
+	// produce output.  The heavyweight sweeps run at full size only in
+	// cmd/eimdb-bench; this guards the harness plumbing.
+	if testing.Short() {
+		t.Skip("full harness smoke test")
+	}
+	for _, e := range All() {
+		var buf bytes.Buffer
+		if err := e.Run(&buf); err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", e.ID)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package expr defines the scalar expression vocabulary shared by the SQL
+// front end, the optimizer, and the execution engine: typed constants,
+// comparison predicates, aggregate specifications, and sort keys.
+package expr
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/colstore"
+	"repro/internal/vec"
+)
+
+// Value is a typed constant.
+type Value struct {
+	Kind colstore.Type
+	I    int64
+	F    float64
+	S    string
+}
+
+// IntVal returns an integer constant.
+func IntVal(v int64) Value { return Value{Kind: colstore.Int64, I: v} }
+
+// FloatVal returns a floating-point constant.
+func FloatVal(v float64) Value { return Value{Kind: colstore.Float64, F: v} }
+
+// StrVal returns a string constant.
+func StrVal(v string) Value { return Value{Kind: colstore.String, S: v} }
+
+// String renders the constant as a SQL literal.
+func (v Value) String() string {
+	switch v.Kind {
+	case colstore.Int64:
+		return strconv.FormatInt(v.I, 10)
+	case colstore.Float64:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case colstore.String:
+		return "'" + v.S + "'"
+	}
+	return "?"
+}
+
+// Pred is a simple comparison predicate `col op value`.  Conjunctions are
+// represented as slices of predicates (the only boolean structure the
+// engine's scans need; disjunctions are handled by bit-vector OR at the
+// exec level).
+type Pred struct {
+	Col string
+	Op  vec.CmpOp
+	Val Value
+}
+
+// String renders the predicate in SQL syntax.
+func (p Pred) String() string {
+	return fmt.Sprintf("%s %s %s", p.Col, p.Op, p.Val)
+}
+
+// AggFunc is an aggregate function.
+type AggFunc int
+
+// The supported aggregates.
+const (
+	AggNone AggFunc = iota // plain column reference
+	AggCount
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String returns the SQL name of the aggregate.
+func (f AggFunc) String() string {
+	switch f {
+	case AggNone:
+		return ""
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	}
+	return "?"
+}
+
+// AggSpec is one aggregate output: Func applied to Col, named As.
+type AggSpec struct {
+	Func AggFunc
+	Col  string // ignored for COUNT(*) (empty)
+	As   string
+}
+
+// String renders the aggregate in SQL syntax.
+func (a AggSpec) String() string {
+	col := a.Col
+	if col == "" {
+		col = "*"
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, col)
+}
+
+// SortKey orders by Col, descending if Desc.
+type SortKey struct {
+	Col  string
+	Desc bool
+}
+
+// String renders the sort key in SQL syntax.
+func (k SortKey) String() string {
+	if k.Desc {
+		return k.Col + " DESC"
+	}
+	return k.Col
+}

@@ -1,0 +1,64 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/vec"
+)
+
+func TestValueConstructorsAndString(t *testing.T) {
+	iv := IntVal(-42)
+	if iv.Kind != colstore.Int64 || iv.I != -42 || iv.String() != "-42" {
+		t.Fatalf("IntVal: %+v %q", iv, iv.String())
+	}
+	fv := FloatVal(2.5)
+	if fv.Kind != colstore.Float64 || fv.F != 2.5 || fv.String() != "2.5" {
+		t.Fatalf("FloatVal: %+v %q", fv, fv.String())
+	}
+	sv := StrVal("ASIA")
+	if sv.Kind != colstore.String || sv.S != "ASIA" || sv.String() != "'ASIA'" {
+		t.Fatalf("StrVal: %+v %q", sv, sv.String())
+	}
+}
+
+func TestPredString(t *testing.T) {
+	p := Pred{Col: "amount", Op: vec.GE, Val: FloatVal(10)}
+	if p.String() != "amount >= 10" {
+		t.Fatalf("Pred.String() = %q", p.String())
+	}
+	p2 := Pred{Col: "region", Op: vec.NE, Val: StrVal("ASIA")}
+	if p2.String() != "region <> 'ASIA'" {
+		t.Fatalf("Pred.String() = %q", p2.String())
+	}
+}
+
+func TestAggFuncStrings(t *testing.T) {
+	want := map[AggFunc]string{
+		AggNone: "", AggCount: "COUNT", AggSum: "SUM",
+		AggMin: "MIN", AggMax: "MAX", AggAvg: "AVG",
+	}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("%d.String() = %q want %q", f, f.String(), s)
+		}
+	}
+}
+
+func TestAggSpecString(t *testing.T) {
+	if s := (AggSpec{Func: AggSum, Col: "amount"}).String(); s != "SUM(amount)" {
+		t.Fatalf("AggSpec.String() = %q", s)
+	}
+	if s := (AggSpec{Func: AggCount}).String(); s != "COUNT(*)" {
+		t.Fatalf("COUNT(*) rendered as %q", s)
+	}
+}
+
+func TestSortKeyString(t *testing.T) {
+	if (SortKey{Col: "x"}).String() != "x" {
+		t.Fatal("ascending key rendering wrong")
+	}
+	if (SortKey{Col: "x", Desc: true}).String() != "x DESC" {
+		t.Fatal("descending key rendering wrong")
+	}
+}

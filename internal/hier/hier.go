@@ -1,0 +1,244 @@
+// Package hier simulates the multi-level storage hierarchy of §IV.B:
+// "main memory is the new disk, disk is the new archive".  Data fragments
+// (column segments, partitions) are placed on tiers with different
+// latency, bandwidth, and energy-per-byte; an aging policy classifies
+// fragments as hot ("high-density" business data with point access) or
+// cold ("low-density" sensor/clickstream data swept by scans) and
+// migrates them, reproducing experiment E6.
+package hier
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/energy"
+)
+
+// Tier identifies a level of the storage hierarchy.
+type Tier int
+
+// The simulated tiers.
+const (
+	DRAM Tier = iota
+	SSD
+	HDD
+)
+
+// String returns the tier name.
+func (t Tier) String() string {
+	switch t {
+	case DRAM:
+		return "DRAM"
+	case SSD:
+		return "SSD"
+	case HDD:
+		return "HDD"
+	}
+	return fmt.Sprintf("Tier(%d)", int(t))
+}
+
+// TierSpec describes one tier's performance and energy profile.
+type TierSpec struct {
+	Latency   time.Duration // fixed per-access latency
+	Bandwidth float64       // bytes per second, streaming
+	PerByte   energy.Joules // dynamic energy per byte moved
+	Idle      energy.Watts  // background power of the device
+}
+
+// DefaultSpecs returns the calibrated tier table: DRAM ~100 ns/20 GB/s,
+// SSD ~80 µs/2 GB/s, HDD ~8 ms/150 MB/s, with energy-per-byte rising two
+// orders of magnitude down the hierarchy.
+func DefaultSpecs() map[Tier]TierSpec {
+	return map[Tier]TierSpec{
+		DRAM: {Latency: 100 * time.Nanosecond, Bandwidth: 20e9, PerByte: 60e-12, Idle: 4},
+		SSD:  {Latency: 80 * time.Microsecond, Bandwidth: 2e9, PerByte: 2.5e-9, Idle: 1.2},
+		HDD:  {Latency: 8 * time.Millisecond, Bandwidth: 150e6, PerByte: 53e-9, Idle: 5},
+	}
+}
+
+// Fragment is a placed unit of data.
+type Fragment struct {
+	ID       string
+	Bytes    uint64
+	Tier     Tier
+	Accesses uint64 // total touches
+	LastUsed uint64 // logical clock of last touch
+}
+
+// Manager tracks fragments, their placement, and a logical access clock.
+type Manager struct {
+	specs map[Tier]TierSpec
+	frags map[string]*Fragment
+	clock uint64
+}
+
+// NewManager returns a manager with the given tier specs (DefaultSpecs if
+// nil).
+func NewManager(specs map[Tier]TierSpec) *Manager {
+	if specs == nil {
+		specs = DefaultSpecs()
+	}
+	return &Manager{specs: specs, frags: make(map[string]*Fragment)}
+}
+
+// Place registers a fragment on a tier (replacing any previous entry with
+// the same id).
+func (m *Manager) Place(id string, bytes uint64, tier Tier) {
+	m.frags[id] = &Fragment{ID: id, Bytes: bytes, Tier: tier, LastUsed: m.clock}
+}
+
+// Fragment returns the fragment with the given id.
+func (m *Manager) Fragment(id string) (*Fragment, error) {
+	f, ok := m.frags[id]
+	if !ok {
+		return nil, fmt.Errorf("hier: unknown fragment %q", id)
+	}
+	return f, nil
+}
+
+// Fragments returns all fragments sorted by id (stable reporting order).
+func (m *Manager) Fragments() []*Fragment {
+	out := make([]*Fragment, 0, len(m.frags))
+	for _, f := range m.frags {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Tick advances the logical clock (e.g. once per query).
+func (m *Manager) Tick() { m.clock++ }
+
+// Clock returns the current logical time.
+func (m *Manager) Clock() uint64 { return m.clock }
+
+// Access charges a read of n bytes from the fragment and returns the
+// simulated duration plus energy counters.  Point lookups pass small n;
+// scans pass the fragment size.
+func (m *Manager) Access(id string, n uint64) (time.Duration, energy.Counters, error) {
+	f, ok := m.frags[id]
+	if !ok {
+		return 0, energy.Counters{}, fmt.Errorf("hier: unknown fragment %q", id)
+	}
+	f.Accesses++
+	f.LastUsed = m.clock
+	spec := m.specs[f.Tier]
+	d := spec.Latency + time.Duration(float64(n)/spec.Bandwidth*float64(time.Second))
+	var c energy.Counters
+	switch f.Tier {
+	case DRAM:
+		c.BytesReadDRAM += n
+	case SSD:
+		c.BytesReadSSD += n
+	case HDD:
+		c.BytesReadHDD += n
+	}
+	return d, c, nil
+}
+
+// MoveCost prices migrating a fragment to the destination tier: the bytes
+// are read from the source and written to the destination.
+func (m *Manager) MoveCost(f *Fragment, to Tier) (time.Duration, energy.Counters) {
+	src, dst := m.specs[f.Tier], m.specs[to]
+	d := src.Latency + dst.Latency +
+		time.Duration(float64(f.Bytes)/src.Bandwidth*float64(time.Second)) +
+		time.Duration(float64(f.Bytes)/dst.Bandwidth*float64(time.Second))
+	var c energy.Counters
+	add := func(t Tier, read bool, n uint64) {
+		switch t {
+		case DRAM:
+			if read {
+				c.BytesReadDRAM += n
+			} else {
+				c.BytesWrittenDRAM += n
+			}
+		case SSD:
+			if read {
+				c.BytesReadSSD += n
+			} else {
+				c.BytesWrittenSSD += n
+			}
+		case HDD:
+			if read {
+				c.BytesReadHDD += n
+			} else {
+				c.BytesWrittenHDD += n
+			}
+		}
+	}
+	add(f.Tier, true, f.Bytes)
+	add(to, false, f.Bytes)
+	return d, c
+}
+
+// AgingPolicy classifies fragments by recency of use: fragments touched
+// within HotWindow logical ticks stay in DRAM, within WarmWindow on SSD,
+// older ones sink to HDD.
+type AgingPolicy struct {
+	HotWindow  uint64
+	WarmWindow uint64
+}
+
+// DefaultAging returns the policy used by the experiments.
+func DefaultAging() AgingPolicy { return AgingPolicy{HotWindow: 4, WarmWindow: 16} }
+
+// Target returns the tier the policy wants for fragment f at time now.
+func (p AgingPolicy) Target(f *Fragment, now uint64) Tier {
+	age := now - f.LastUsed
+	switch {
+	case age <= p.HotWindow:
+		return DRAM
+	case age <= p.WarmWindow:
+		return SSD
+	default:
+		return HDD
+	}
+}
+
+// Migration records one applied move.
+type Migration struct {
+	ID       string
+	From, To Tier
+	Elapsed  time.Duration
+	Work     energy.Counters
+}
+
+// Age applies the policy to every fragment, migrating as needed, and
+// returns the migrations performed.
+func (m *Manager) Age(p AgingPolicy) []Migration {
+	var moves []Migration
+	for _, f := range m.Fragments() {
+		want := p.Target(f, m.clock)
+		if want == f.Tier {
+			continue
+		}
+		d, c := m.MoveCost(f, want)
+		moves = append(moves, Migration{ID: f.ID, From: f.Tier, To: want, Elapsed: d, Work: c})
+		f.Tier = want
+	}
+	return moves
+}
+
+// IdlePower sums the background power of tiers that hold at least one
+// fragment, plus DRAM background proportional to resident bytes.  Empty
+// tiers are assumed powered down — the paper's "turn off components to
+// save idle power".
+func (m *Manager) IdlePower(model *energy.Model) energy.Watts {
+	var dramBytes uint64
+	used := map[Tier]bool{}
+	for _, f := range m.frags {
+		used[f.Tier] = true
+		if f.Tier == DRAM {
+			dramBytes += f.Bytes
+		}
+	}
+	var p energy.Watts
+	for t := range used {
+		if t != DRAM {
+			p += m.specs[t].Idle
+		}
+	}
+	p += energy.Watts(float64(model.DRAMStaticPerGB) * float64(dramBytes) / (1 << 30))
+	return p
+}

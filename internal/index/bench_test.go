@@ -1,0 +1,64 @@
+package index
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkLookup compares point-lookup cost across the three index
+// kinds — the constant factors behind the E2 access-path crossover.
+func BenchmarkLookup(b *testing.B) {
+	const n = 1 << 20
+	vals := workload.UniformInts(1, n, 1<<30)
+	probes := workload.UniformInts(2, 4096, 1<<30)
+	for _, idx := range allIndexes() {
+		BuildFrom(idx, vals)
+		b.Run(idx.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				idx.Lookup(probes[i&4095])
+			}
+		})
+	}
+}
+
+// BenchmarkRange compares ordered-range iteration for the ordered kinds.
+func BenchmarkRange(b *testing.B) {
+	const n = 1 << 18
+	vals := workload.UniformInts(3, n, 1<<24)
+	for _, idx := range allIndexes() {
+		if !idx.SupportsRange() {
+			continue
+		}
+		BuildFrom(idx, vals)
+		b.Run(idx.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				count := 0
+				idx.Range(1<<22, 1<<23, func(k int64, rows []int32) bool {
+					count += len(rows)
+					return true
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkInsert measures build rates.
+func BenchmarkInsert(b *testing.B) {
+	vals := workload.UniformInts(5, 1<<16, 1<<30)
+	for _, mk := range []struct {
+		name string
+		make func() Index
+	}{
+		{"hash", func() Index { return NewHash() }},
+		{"btree", func() Index { return NewBTree() }},
+		{"prefixtree", func() Index { return NewPrefixTree() }},
+	} {
+		b.Run(mk.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				idx := mk.make()
+				BuildFrom(idx, vals)
+			}
+		})
+	}
+}

@@ -1,0 +1,186 @@
+package index
+
+import "repro/internal/energy"
+
+// btreeOrder is the fan-out of the B+-tree.  64 keys per node keeps a
+// node within a handful of cache lines, the "cache line is the new block"
+// sizing the paper describes.
+const btreeOrder = 64
+
+// BTree is a B+-tree over int64 keys with postings at the leaves and a
+// linked leaf level for range scans.
+type BTree struct {
+	root   bnode
+	height int
+	keys   int
+}
+
+type bnode interface{ isNode() }
+
+type bleaf struct {
+	keys []int64
+	post [][]int32
+	next *bleaf
+}
+
+type binner struct {
+	// keys[i] is the smallest key reachable via kids[i+1].
+	keys []int64
+	kids []bnode
+}
+
+func (*bleaf) isNode()  {}
+func (*binner) isNode() {}
+
+// NewBTree returns an empty B+-tree.
+func NewBTree() *BTree { return &BTree{root: &bleaf{}, height: 1} }
+
+// Name implements Index.
+func (t *BTree) Name() string { return "btree" }
+
+// Len implements Index.
+func (t *BTree) Len() int { return t.keys }
+
+// Height returns the number of levels (for cost estimation and tests).
+func (t *BTree) Height() int { return t.height }
+
+// SupportsRange implements Index.
+func (t *BTree) SupportsRange() bool { return true }
+
+// LookupCost implements Index: one cache miss per level.
+func (t *BTree) LookupCost() energy.Counters {
+	return energy.Counters{
+		Instructions: uint64(t.height) * 12,
+		CacheMisses:  uint64(t.height),
+	}
+}
+
+// search returns the position of the first key >= k in keys.
+func search(keys []int64, k int64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert implements Index.
+func (t *BTree) Insert(key int64, row int32) {
+	newKey, right, added := t.insert(t.root, key, row)
+	if added {
+		t.keys++
+	}
+	if right != nil {
+		t.root = &binner{keys: []int64{newKey}, kids: []bnode{t.root, right}}
+		t.height++
+	}
+}
+
+// insert returns (splitKey, newRightSibling, addedDistinctKey).
+func (t *BTree) insert(n bnode, key int64, row int32) (int64, bnode, bool) {
+	switch nd := n.(type) {
+	case *bleaf:
+		i := search(nd.keys, key)
+		if i < len(nd.keys) && nd.keys[i] == key {
+			nd.post[i] = append(nd.post[i], row)
+			return 0, nil, false
+		}
+		nd.keys = append(nd.keys, 0)
+		copy(nd.keys[i+1:], nd.keys[i:])
+		nd.keys[i] = key
+		nd.post = append(nd.post, nil)
+		copy(nd.post[i+1:], nd.post[i:])
+		nd.post[i] = []int32{row}
+		if len(nd.keys) <= btreeOrder {
+			return 0, nil, true
+		}
+		mid := len(nd.keys) / 2
+		right := &bleaf{
+			keys: append([]int64(nil), nd.keys[mid:]...),
+			post: append([][]int32(nil), nd.post[mid:]...),
+			next: nd.next,
+		}
+		nd.keys = nd.keys[:mid]
+		nd.post = nd.post[:mid]
+		nd.next = right
+		return right.keys[0], right, true
+	case *binner:
+		i := search(nd.keys, key)
+		if i < len(nd.keys) && nd.keys[i] == key {
+			i++
+		}
+		splitKey, right, added := t.insert(nd.kids[i], key, row)
+		if right == nil {
+			return 0, nil, added
+		}
+		nd.keys = append(nd.keys, 0)
+		copy(nd.keys[i+1:], nd.keys[i:])
+		nd.keys[i] = splitKey
+		nd.kids = append(nd.kids, nil)
+		copy(nd.kids[i+2:], nd.kids[i+1:])
+		nd.kids[i+1] = right
+		if len(nd.kids) <= btreeOrder {
+			return 0, nil, added
+		}
+		mid := len(nd.keys) / 2
+		upKey := nd.keys[mid]
+		rightInner := &binner{
+			keys: append([]int64(nil), nd.keys[mid+1:]...),
+			kids: append([]bnode(nil), nd.kids[mid+1:]...),
+		}
+		nd.keys = nd.keys[:mid]
+		nd.kids = nd.kids[:mid+1]
+		return upKey, rightInner, added
+	}
+	panic("index: unknown node type")
+}
+
+// findLeaf descends to the leaf that may contain key.
+func (t *BTree) findLeaf(key int64) *bleaf {
+	n := t.root
+	for {
+		switch nd := n.(type) {
+		case *bleaf:
+			return nd
+		case *binner:
+			i := search(nd.keys, key)
+			if i < len(nd.keys) && nd.keys[i] == key {
+				i++
+			}
+			n = nd.kids[i]
+		}
+	}
+}
+
+// Lookup implements Index.
+func (t *BTree) Lookup(key int64) []int32 {
+	lf := t.findLeaf(key)
+	i := search(lf.keys, key)
+	if i < len(lf.keys) && lf.keys[i] == key {
+		return lf.post[i]
+	}
+	return nil
+}
+
+// Range implements Index: visits keys in [lo, hi] ascending.
+func (t *BTree) Range(lo, hi int64, fn func(key int64, rows []int32) bool) {
+	lf := t.findLeaf(lo)
+	i := search(lf.keys, lo)
+	for lf != nil {
+		for ; i < len(lf.keys); i++ {
+			if lf.keys[i] > hi {
+				return
+			}
+			if !fn(lf.keys[i], lf.post[i]) {
+				return
+			}
+		}
+		lf = lf.next
+		i = 0
+	}
+}

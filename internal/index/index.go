@@ -1,0 +1,76 @@
+// Package index provides the in-memory secondary indexes the optimizer
+// chooses between when it prices "index lookup instead of table scan"
+// (paper §IV, experiment E2): a hash index for point predicates, a
+// cache-conscious B+-tree for ranges, and a prefix tree (a nod to QPPT,
+// the paper's reference [15]).
+//
+// Indexes map int64 keys to postings of row ids.  Each index reports an
+// estimated per-lookup work profile so the cost model can price access
+// paths without executing them.
+package index
+
+import (
+	"repro/internal/energy"
+)
+
+// Index is the common interface of all secondary indexes.
+type Index interface {
+	// Name identifies the index kind in plans.
+	Name() string
+	// Insert adds one (key, row) pair.
+	Insert(key int64, row int32)
+	// Lookup returns the rows with exactly the given key (nil if none).
+	Lookup(key int64) []int32
+	// SupportsRange reports whether Range is usable.
+	SupportsRange() bool
+	// Range visits keys in [lo, hi] in ascending order until fn returns
+	// false.  Panics if unsupported.
+	Range(lo, hi int64, fn func(key int64, rows []int32) bool)
+	// Len returns the number of distinct keys.
+	Len() int
+	// LookupCost estimates the work of one point lookup, for the cost
+	// model.
+	LookupCost() energy.Counters
+}
+
+// BuildFrom inserts all values of a column slice into idx, with row ids
+// equal to positions.
+func BuildFrom(idx Index, values []int64) {
+	for i, v := range values {
+		idx.Insert(v, int32(i))
+	}
+}
+
+// HashIndex is an equality-only index backed by Go's map.  O(1) lookups
+// with roughly one cache miss for the bucket plus one for the postings.
+type HashIndex struct {
+	m map[int64][]int32
+}
+
+// NewHash returns an empty hash index.
+func NewHash() *HashIndex { return &HashIndex{m: make(map[int64][]int32)} }
+
+// Name implements Index.
+func (h *HashIndex) Name() string { return "hash" }
+
+// Insert implements Index.
+func (h *HashIndex) Insert(key int64, row int32) { h.m[key] = append(h.m[key], row) }
+
+// Lookup implements Index.
+func (h *HashIndex) Lookup(key int64) []int32 { return h.m[key] }
+
+// SupportsRange implements Index: hash indexes cannot scan ranges.
+func (h *HashIndex) SupportsRange() bool { return false }
+
+// Range implements Index by panicking; callers must check SupportsRange.
+func (h *HashIndex) Range(lo, hi int64, fn func(int64, []int32) bool) {
+	panic("index: hash index does not support range scans")
+}
+
+// Len implements Index.
+func (h *HashIndex) Len() int { return len(h.m) }
+
+// LookupCost implements Index.
+func (h *HashIndex) LookupCost() energy.Counters {
+	return energy.Counters{Instructions: 20, CacheMisses: 2}
+}

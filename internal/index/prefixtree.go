@@ -1,0 +1,157 @@
+package index
+
+import "repro/internal/energy"
+
+// PrefixTree is a path-compressed 16-ary (nibble) trie over the
+// order-preserving unsigned image of int64 keys — a simplified cousin of
+// the prefix-tree index in QPPT (Kissinger et al., CIDR 2013), the
+// paper's reference [15].  Lookups descend at most 16 nibbles; dense key
+// sets share prefixes, and range scans walk children in nibble order,
+// which is key order.
+type PrefixTree struct {
+	root *ptNode
+	keys int
+}
+
+type ptNode struct {
+	// Exactly one of (children, leaf) is meaningful: an inner node has
+	// children; a compressed leaf stores the full key and postings.
+	children *[16]*ptNode
+	leafKey  uint64
+	post     []int32
+	isLeaf   bool
+}
+
+// NewPrefixTree returns an empty prefix tree.
+func NewPrefixTree() *PrefixTree { return &PrefixTree{} }
+
+// flip maps int64 to uint64 preserving order (sign bit flip).
+func flip(k int64) uint64 { return uint64(k) ^ (1 << 63) }
+
+// unflip reverses flip.
+func unflip(u uint64) int64 { return int64(u ^ (1 << 63)) }
+
+// nibble returns the d-th nibble from the top (d in [0,15]).
+func nibble(u uint64, d int) int { return int(u >> (60 - 4*d) & 0xF) }
+
+// Name implements Index.
+func (p *PrefixTree) Name() string { return "prefixtree" }
+
+// Len implements Index.
+func (p *PrefixTree) Len() int { return p.keys }
+
+// SupportsRange implements Index.
+func (p *PrefixTree) SupportsRange() bool { return true }
+
+// LookupCost implements Index: expected depth grows with key count but is
+// bounded by 16; approximate with a shallow average.
+func (p *PrefixTree) LookupCost() energy.Counters {
+	return energy.Counters{Instructions: 60, CacheMisses: 4}
+}
+
+// Insert implements Index.
+func (p *PrefixTree) Insert(key int64, row int32) {
+	u := flip(key)
+	if p.root == nil {
+		p.root = &ptNode{isLeaf: true, leafKey: u, post: []int32{row}}
+		p.keys++
+		return
+	}
+	n := p.root
+	depth := 0
+	for {
+		if n.isLeaf {
+			if n.leafKey == u {
+				n.post = append(n.post, row)
+				return
+			}
+			// Split the compressed leaf: push it down until the two keys
+			// diverge.
+			old := &ptNode{isLeaf: true, leafKey: n.leafKey, post: n.post}
+			n.isLeaf = false
+			n.post = nil
+			n.children = &[16]*ptNode{}
+			cur := n
+			for d := depth; d < 16; d++ {
+				on, nn := nibble(old.leafKey, d), nibble(u, d)
+				if on != nn {
+					cur.children[on] = old
+					cur.children[nn] = &ptNode{isLeaf: true, leafKey: u, post: []int32{row}}
+					p.keys++
+					return
+				}
+				next := &ptNode{children: &[16]*ptNode{}}
+				cur.children[on] = next
+				cur = next
+			}
+			panic("index: identical keys reached full depth") // unreachable: equal keys handled above
+		}
+		c := nibble(u, depth)
+		if n.children[c] == nil {
+			n.children[c] = &ptNode{isLeaf: true, leafKey: u, post: []int32{row}}
+			p.keys++
+			return
+		}
+		n = n.children[c]
+		depth++
+	}
+}
+
+// Lookup implements Index.
+func (p *PrefixTree) Lookup(key int64) []int32 {
+	u := flip(key)
+	n := p.root
+	depth := 0
+	for n != nil {
+		if n.isLeaf {
+			if n.leafKey == u {
+				return n.post
+			}
+			return nil
+		}
+		n = n.children[nibble(u, depth)]
+		depth++
+	}
+	return nil
+}
+
+// Range implements Index: in-order DFS restricted to [lo, hi], pruning
+// subtrees whose key interval (derived from their prefix) misses the
+// range.
+func (p *PrefixTree) Range(lo, hi int64, fn func(key int64, rows []int32) bool) {
+	if p.root == nil || lo > hi {
+		return
+	}
+	ulo, uhi := flip(lo), flip(hi)
+	p.walk(p.root, 0, 0, ulo, uhi, fn)
+}
+
+// walk visits node n, which decides nibble depth and whose path prefix
+// occupies the top 4*depth bits of prefix.  Returns false to stop.
+func (p *PrefixTree) walk(n *ptNode, depth int, prefix, ulo, uhi uint64, fn func(int64, []int32) bool) bool {
+	if n.isLeaf {
+		if n.leafKey >= ulo && n.leafKey <= uhi {
+			return fn(unflip(n.leafKey), n.post)
+		}
+		return true
+	}
+	shift := uint(60 - 4*depth)
+	var low uint64
+	if shift < 64 {
+		low = (uint64(1) << shift) - 1
+	}
+	for c := 0; c < 16; c++ {
+		child := n.children[c]
+		if child == nil {
+			continue
+		}
+		sub := prefix | uint64(c)<<shift
+		if sub|low < ulo || sub > uhi {
+			continue // subtree interval disjoint from [ulo, uhi]
+		}
+		if !p.walk(child, depth+1, sub, ulo, uhi, fn) {
+			return false
+		}
+	}
+	return true
+}

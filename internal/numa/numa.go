@@ -1,0 +1,176 @@
+// Package numa simulates the large-scale main-memory management
+// requirements of §III: "most of the servers follow the NUMA-architecture
+// principles with local but cache-coherent memory layout; modern database
+// systems exactly have to know the allocation scheme of the data in order
+// to compute an optimal schedule for the operators of a given query", and
+// "cache coherency should not always automatically be ensured at the
+// hardware level, if the database system exactly knows the allocation
+// scheme".
+//
+// The model: sockets with local DRAM, an interconnect with lower
+// bandwidth and higher latency/energy for remote accesses, and two
+// sharing disciplines — hardware-coherent (every remote touch pays the
+// interconnect) versus explicit placement (one bulk transfer, then local
+// access).
+package numa
+
+import (
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/workload"
+)
+
+// Topology describes the socket layout and its access costs.  Energy is
+// charged through counters: local traffic as DRAM bytes, cross-socket
+// traffic additionally as link bytes, which the energy model prices.
+type Topology struct {
+	Sockets       int
+	LocalLatency  time.Duration // per cache-line access
+	RemoteLatency time.Duration
+	LocalBW       float64 // streaming bytes/s
+	RemoteBW      float64
+}
+
+// Default2Socket returns a two-socket 2013-era profile: remote accesses
+// pay ~1.6× latency and under half the bandwidth.
+func Default2Socket() *Topology {
+	return &Topology{
+		Sockets:       2,
+		LocalLatency:  90 * time.Nanosecond,
+		RemoteLatency: 145 * time.Nanosecond,
+		LocalBW:       40e9,
+		RemoteBW:      18e9,
+	}
+}
+
+// ScanCost prices streaming `bytes` from partSocket by a worker pinned to
+// workerSocket.
+func (t *Topology) ScanCost(workerSocket, partSocket int, bytes uint64) (time.Duration, energy.Counters) {
+	local := workerSocket == partSocket
+	bw, lat := t.LocalBW, t.LocalLatency
+	if !local {
+		bw, lat = t.RemoteBW, t.RemoteLatency
+	}
+	d := lat + time.Duration(float64(bytes)/bw*float64(time.Second))
+	var c energy.Counters
+	c.BytesReadDRAM = bytes
+	// Remote traffic is additionally charged as link bytes so the energy
+	// model separates interconnect joules from DRAM joules.
+	if !local {
+		c.BytesSentLink = bytes
+	}
+	return d, c
+}
+
+// ScheduleReport summarizes one parallel scan schedule.
+type ScheduleReport struct {
+	Makespan    time.Duration
+	TotalTime   time.Duration // sum over workers
+	RemoteBytes uint64
+	LocalBytes  uint64
+}
+
+// RemoteFraction returns the share of traffic that crossed sockets.
+func (r ScheduleReport) RemoteFraction() float64 {
+	tot := r.RemoteBytes + r.LocalBytes
+	if tot == 0 {
+		return 0
+	}
+	return float64(r.RemoteBytes) / float64(tot)
+}
+
+// EvaluateSchedule scans every partition once with one worker per socket.
+// assign maps partition -> worker socket; placement maps partition ->
+// home socket.  Workers process their partitions sequentially; the
+// makespan is the slowest worker.
+func (t *Topology) EvaluateSchedule(partBytes []uint64, placement, assign []int) ScheduleReport {
+	var rep ScheduleReport
+	perWorker := make([]time.Duration, t.Sockets)
+	for p, bytes := range partBytes {
+		d, c := t.ScanCost(assign[p], placement[p], bytes)
+		perWorker[assign[p]] += d
+		rep.TotalTime += d
+		if c.BytesSentLink > 0 {
+			rep.RemoteBytes += bytes
+		} else {
+			rep.LocalBytes += bytes
+		}
+	}
+	for _, w := range perWorker {
+		if w > rep.Makespan {
+			rep.Makespan = w
+		}
+	}
+	return rep
+}
+
+// AwareAssign sends every partition to a worker on its home socket
+// (NUMA-aware scheduling: the system "exactly knows the allocation
+// scheme").
+func AwareAssign(placement []int) []int {
+	out := make([]int, len(placement))
+	copy(out, placement)
+	return out
+}
+
+// ObliviousAssign spreads partitions over workers round-robin, ignoring
+// placement — the classical NUMA-oblivious scheduler.
+func ObliviousAssign(n, sockets int, seed uint64) []int {
+	rng := workload.NewRNG(seed)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(sockets)
+	}
+	return out
+}
+
+// SharingMode selects how a remotely homed structure is accessed
+// repeatedly.
+type SharingMode int
+
+// The sharing disciplines of the coherency ablation.
+const (
+	// Coherent relies on hardware cache coherency: every access round
+	// pays the interconnect again (invalidations keep pulling lines
+	// across).
+	Coherent SharingMode = iota
+	// Explicit copies the structure to the local socket once, then all
+	// rounds are local — the software-managed discipline the paper asks
+	// the hardware to permit.
+	Explicit
+)
+
+// String names the mode.
+func (m SharingMode) String() string {
+	if m == Explicit {
+		return "explicit"
+	}
+	return "coherent"
+}
+
+// SharedAccessCost prices `rounds` passes over a `bytes`-sized structure
+// homed on a remote socket under the given discipline.
+func (t *Topology) SharedAccessCost(mode SharingMode, bytes uint64, rounds int) (time.Duration, energy.Counters) {
+	var d time.Duration
+	var c energy.Counters
+	switch mode {
+	case Explicit:
+		// One bulk transfer, then local rounds.
+		dt, ct := t.ScanCost(0, 1, bytes)
+		d += dt
+		c.Add(ct)
+		for i := 0; i < rounds; i++ {
+			dl, cl := t.ScanCost(0, 0, bytes)
+			d += dl
+			c.Add(cl)
+		}
+	default:
+		for i := 0; i < rounds; i++ {
+			dr, cr := t.ScanCost(0, 1, bytes)
+			d += dr
+			c.Add(cr)
+		}
+	}
+	return d, c
+}

@@ -1,0 +1,140 @@
+package opt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/energy"
+)
+
+// Objective selects what the optimizer minimizes.
+type Objective int
+
+// The supported optimization objectives (paper §IV: the system must
+// "flexibly balance query response time minimization and throughput
+// maximization under a given energy constraint").
+const (
+	// MinTime is classical response-time optimization.
+	MinTime Objective = iota
+	// MinEnergy minimizes joules per query.
+	MinEnergy
+	// MinEDP minimizes the energy-delay product.
+	MinEDP
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case MinTime:
+		return "min-time"
+	case MinEnergy:
+		return "min-energy"
+	case MinEDP:
+		return "min-edp"
+	}
+	return fmt.Sprintf("Objective(%d)", int(o))
+}
+
+// Cost is a priced plan alternative: estimated busy time, energy, and the
+// raw work counters behind them.
+type Cost struct {
+	Time   time.Duration
+	Energy energy.Joules
+	Work   energy.Counters
+}
+
+// EDP returns the energy-delay product of the cost.
+func (c Cost) EDP() float64 { return energy.EDP(c.Energy, c.Time) }
+
+// Power returns the implied average power draw.
+func (c Cost) Power() energy.Watts {
+	if c.Time <= 0 {
+		return 0
+	}
+	return energy.Watts(float64(c.Energy) / c.Time.Seconds())
+}
+
+// Better reports whether a beats b under the objective.
+func (o Objective) Better(a, b Cost) bool {
+	switch o {
+	case MinEnergy:
+		return a.Energy < b.Energy
+	case MinEDP:
+		return a.EDP() < b.EDP()
+	default:
+		return a.Time < b.Time
+	}
+}
+
+// CostModel converts work counters into Cost using the energy model at a
+// fixed P-state (the scheduler owns DVFS; the optimizer prices plans at
+// the state the scheduler announces).
+type CostModel struct {
+	Model  *energy.Model
+	PState energy.PState
+	Cores  int // cores the plan may use (affects static share)
+}
+
+// NewCostModel returns a cost model at the model's max P-state.
+func NewCostModel(m *energy.Model) *CostModel {
+	return &CostModel{Model: m, PState: m.Core.MaxPState(), Cores: 1}
+}
+
+// Price converts counters plus non-CPU simulated time (link/disk) into a
+// Cost.
+func (cm *CostModel) Price(w energy.Counters, simTime time.Duration) Cost {
+	cpu := cm.Model.CPUTime(w, cm.PState)
+	total := cpu + simTime
+	b := cm.Model.DynamicEnergy(w, cm.PState)
+	b.Static = energy.StaticEnergy(cm.PState.Active, cpu) +
+		energy.StaticEnergy(cm.Model.Core.Idle.Power, simTime)
+	return Cost{Time: total, Energy: b.Total(), Work: w}
+}
+
+// PickUnderPowerCap returns the index of the best alternative under a
+// power cap: the fastest plan whose average power fits the cap, or — if
+// none fits — the lowest-power plan.  This is the decision surface of the
+// paper's Figure 2: as the cap tightens, the optimizer abandons the
+// fastest plan for frugal ones.
+func PickUnderPowerCap(alts []Cost, cap energy.Watts) int {
+	best := -1
+	for i, a := range alts {
+		if a.Power() <= cap {
+			if best < 0 || a.Time < alts[best].Time {
+				best = i
+			}
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	for i, a := range alts {
+		if best < 0 || a.Power() < alts[best].Power() {
+			best = i
+		}
+	}
+	return best
+}
+
+// PickUnderEnergyBudget returns the fastest alternative whose energy does
+// not exceed the per-query budget, or the lowest-energy plan if none
+// fits.
+func PickUnderEnergyBudget(alts []Cost, budget energy.Joules) int {
+	best := -1
+	for i, a := range alts {
+		if a.Energy <= budget {
+			if best < 0 || a.Time < alts[best].Time {
+				best = i
+			}
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	for i, a := range alts {
+		if best < 0 || a.Energy < alts[best].Energy {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,361 @@
+package opt
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/energy"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/index"
+	"repro/internal/netsim"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+func testCatalog(t testing.TB, rows int) (*Catalog, *colstore.Table) {
+	t.Helper()
+	o := workload.GenOrders(7, rows, 1000, 1.1)
+	tab := colstore.NewTable("orders", colstore.Schema{
+		{Name: "id", Type: colstore.Int64},
+		{Name: "custkey", Type: colstore.Int64},
+		{Name: "region", Type: colstore.String},
+		{Name: "amount", Type: colstore.Float64},
+	})
+	regions := make([]string, rows)
+	for i, r := range o.Region {
+		regions[i] = workload.RegionNames[r]
+	}
+	if err := tab.LoadInt64("id", o.OrderID); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.LoadInt64("custkey", o.CustKey); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.LoadString("region", regions); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.LoadFloat64("amount", o.Amount); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog()
+	cat.AddTable(tab)
+	return cat, tab
+}
+
+func TestCatalogStats(t *testing.T) {
+	cat, _ := testCatalog(t, 10000)
+	ts, err := cat.Stats("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Rows != 10000 {
+		t.Fatalf("rows = %d", ts.Rows)
+	}
+	id := ts.Cols["id"]
+	if !id.HasMinMax || id.Min != 1 || id.Max != 10000 {
+		t.Fatalf("id stats: %+v", id)
+	}
+	if ts.Cols["region"].Distinct != len(workload.RegionNames) {
+		t.Fatalf("region distinct = %d", ts.Cols["region"].Distinct)
+	}
+	if _, err := cat.Stats("ghost"); err == nil {
+		t.Fatal("unknown table must error")
+	}
+}
+
+func TestSelectivityEstimates(t *testing.T) {
+	cat, _ := testCatalog(t, 10000)
+	ts, _ := cat.Stats("orders")
+	// id uniform on [1,10000]: id < 1000 should be ~10%.
+	s := ts.Selectivity(expr.Pred{Col: "id", Op: vec.LT, Val: expr.IntVal(1000)})
+	if math.Abs(s-0.1) > 0.02 {
+		t.Errorf("range selectivity = %g, want ~0.1", s)
+	}
+	// Equality on id (unique) should be tiny.
+	se := ts.Selectivity(expr.Pred{Col: "id", Op: vec.EQ, Val: expr.IntVal(5)})
+	if se > 0.001 {
+		t.Errorf("unique equality selectivity = %g", se)
+	}
+	// Out-of-range predicates clamp to [0,1].
+	if ts.Selectivity(expr.Pred{Col: "id", Op: vec.LT, Val: expr.IntVal(-5)}) != 0 {
+		t.Error("below-domain LT must be 0")
+	}
+	if ts.Selectivity(expr.Pred{Col: "id", Op: vec.LT, Val: expr.IntVal(1 << 40)}) != 1 {
+		t.Error("above-domain LT must be 1")
+	}
+}
+
+func TestAccessChoiceCrossover(t *testing.T) {
+	// The E2 shape: the index must win at needle selectivity and lose to
+	// the scan at high selectivity.
+	cat, tab := testCatalog(t, 200000)
+	ic, _ := tab.IntCol("id")
+	bt := index.NewBTree()
+	index.BuildFrom(bt, ic.Values())
+	cat.AddIndex("orders", "id", bt)
+	cm := NewCostModel(energy.DefaultModel())
+
+	needle := []expr.Pred{{Col: "id", Op: vec.EQ, Val: expr.IntVal(42)}}
+	choice, err := ChooseAccess(cat, cm, "orders", needle, 2, MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Spec.Kind != exec.IndexAccess {
+		t.Errorf("needle lookup should use the index (index %v vs scan %v)",
+			choice.IndexCost.Time, choice.FullScanCost.Time)
+	}
+
+	broad := []expr.Pred{{Col: "id", Op: vec.GT, Val: expr.IntVal(1000)}}
+	choice, err = ChooseAccess(cat, cm, "orders", broad, 2, MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Spec.Kind != exec.FullScan {
+		t.Errorf("99%% selectivity should scan (index %v vs scan %v)",
+			choice.IndexCost.Time, choice.FullScanCost.Time)
+	}
+	// The same crossover must hold under the energy objective.
+	choice, _ = ChooseAccess(cat, cm, "orders", needle, 2, MinEnergy)
+	if choice.Spec.Kind != exec.IndexAccess {
+		t.Error("needle lookup should use the index under min-energy too")
+	}
+}
+
+func TestPickUnderPowerCap(t *testing.T) {
+	// Three plans: fast+hungry, medium, slow+frugal.
+	alts := []Cost{
+		{Time: 10 * time.Millisecond, Energy: 2},   // 200 W
+		{Time: 50 * time.Millisecond, Energy: 2.5}, // 50 W
+		{Time: 400 * time.Millisecond, Energy: 4},  // 10 W
+	}
+	if got := PickUnderPowerCap(alts, 500); got != 0 {
+		t.Errorf("generous cap must pick the fastest, got %d", got)
+	}
+	if got := PickUnderPowerCap(alts, 100); got != 1 {
+		t.Errorf("100 W cap must pick the medium plan, got %d", got)
+	}
+	if got := PickUnderPowerCap(alts, 20); got != 2 {
+		t.Errorf("20 W cap must pick the frugal plan, got %d", got)
+	}
+	if got := PickUnderPowerCap(alts, 1); got != 2 {
+		t.Errorf("impossible cap must pick the lowest-power plan, got %d", got)
+	}
+}
+
+func TestPickUnderEnergyBudget(t *testing.T) {
+	alts := []Cost{
+		{Time: 10 * time.Millisecond, Energy: 5},
+		{Time: 100 * time.Millisecond, Energy: 1},
+	}
+	if got := PickUnderEnergyBudget(alts, 10); got != 0 {
+		t.Errorf("big budget picks fastest, got %d", got)
+	}
+	if got := PickUnderEnergyBudget(alts, 2); got != 1 {
+		t.Errorf("tight budget picks frugal, got %d", got)
+	}
+	if got := PickUnderEnergyBudget(alts, 0.1); got != 1 {
+		t.Errorf("impossible budget picks min energy, got %d", got)
+	}
+}
+
+func TestChooseCodecFlipsWithLinkSpeed(t *testing.T) {
+	// E3 shape: compressible data should ship compressed on slow links
+	// and (near-incompressible data) raw on fast links.
+	cm := NewCostModel(energy.DefaultModel())
+	runs := workload.RunsInts(5, 200000, 4, 100) // highly compressible
+	slow, _ := netsim.LinkByName("0.1Gbps")
+	fast, _ := netsim.LinkByName("40Gbps")
+
+	p := ChooseCodec(cm, runs, slow, MinTime)
+	if p.Codec.Name() == "none" {
+		t.Error("slow link with compressible data must compress")
+	}
+	wide := workload.UniformInts(6, 200000, 1<<62) // ~incompressible
+	p = ChooseCodec(cm, wide, fast, MinTime)
+	if p.Codec.Name() != "none" && p.Ratio < 0.95 {
+		t.Errorf("fast link with incompressible data picked %s at ratio %g", p.Codec.Name(), p.Ratio)
+	}
+	// The estimator should agree with the oracle on clear-cut cases.
+	est := ChooseCodec(cm, runs, slow, MinEnergy)
+	orc := OracleCodec(cm, runs, slow, MinEnergy)
+	if est.Codec.Name() != orc.Codec.Name() {
+		t.Errorf("estimator picked %s, oracle %s", est.Codec.Name(), orc.Codec.Name())
+	}
+}
+
+func TestJoinOrderDPBeatsOrTiesGreedy(t *testing.T) {
+	// Star schema: fact table joined to 6 dimensions of varying size.
+	tables := []JoinTable{{Name: "fact", Rows: 1e6}}
+	for i := 0; i < 6; i++ {
+		tables = append(tables, JoinTable{Name: "dim", Rows: float64(10 + i*1000)})
+	}
+	g := NewJoinGraph(tables)
+	for i := 1; i < len(tables); i++ {
+		g.AddEdge(0, i, 1/tables[i].Rows) // FK join
+	}
+	_, dpCost := g.OrderDP()
+	greedyOrder, greedyCost := g.OrderGreedy()
+	if dpCost > greedyCost*1.0000001 {
+		t.Errorf("DP (%g) must not be worse than greedy (%g)", dpCost, greedyCost)
+	}
+	if got := g.PlanCost(greedyOrder); math.Abs(got-greedyCost) > greedyCost*1e-9 {
+		t.Errorf("PlanCost disagrees with greedy accounting: %g vs %g", got, greedyCost)
+	}
+}
+
+func TestJoinOrderScalesToManyTables(t *testing.T) {
+	// E10 shape: greedy must handle >10,000 tables quickly.
+	n := 12000
+	tables := make([]JoinTable, n)
+	rng := workload.NewRNG(3)
+	for i := range tables {
+		tables[i] = JoinTable{Name: "t", Rows: float64(10 + rng.Intn(100000))}
+	}
+	g := NewJoinGraph(tables)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i-1, i, 1e-4)
+	}
+	start := time.Now()
+	order, cost, exact := g.Order()
+	elapsed := time.Since(start)
+	if exact {
+		t.Fatal("12000 tables must take the greedy path")
+	}
+	if len(order) != n || cost <= 0 {
+		t.Fatalf("bad order: len=%d cost=%g", len(order), cost)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("greedy ordering too slow: %v", elapsed)
+	}
+	seen := make([]bool, n)
+	for _, t := range order {
+		seen[t] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("table %d missing from order", i)
+		}
+	}
+}
+
+func TestPlannerSingleTable(t *testing.T) {
+	cat, _ := testCatalog(t, 5000)
+	cm := NewCostModel(energy.DefaultModel())
+	q := &Query{
+		From: "orders",
+		Preds: []expr.Pred{
+			{Col: "region", Op: vec.EQ, Val: expr.StrVal("ASIA")},
+		},
+		Select:  []SelectItem{{Col: "region"}, {Agg: expr.AggSum, Col: "amount", As: "rev"}, {Agg: expr.AggCount, As: "n"}},
+		GroupBy: []string{"region"},
+	}
+	node, info, err := cat.Plan(q, cm, MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := node.Run(exec.NewCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.N != 1 {
+		t.Fatalf("expected 1 group, got %d", rel.N)
+	}
+	rc, err := rel.Col("region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.S[0] != "ASIA" {
+		t.Fatalf("group = %q", rc.S[0])
+	}
+	if info.Est.Energy <= 0 || info.Explain == "" {
+		t.Error("plan info must carry estimates and explain text")
+	}
+}
+
+func TestPlannerJoinQuery(t *testing.T) {
+	cat, _ := testCatalog(t, 3000)
+	cust := colstore.NewTable("customer", colstore.Schema{
+		{Name: "ckey", Type: colstore.Int64},
+		{Name: "segment", Type: colstore.String},
+	})
+	for k := 0; k < 1000; k++ {
+		seg := "RETAIL"
+		if k%4 == 0 {
+			seg = "WHOLESALE"
+		}
+		if err := cust.AppendRow(int64(k), seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cust.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	cat.AddTable(cust)
+	cm := NewCostModel(energy.DefaultModel())
+	q := &Query{
+		From:    "orders",
+		Joins:   []JoinSpec{{Table: "customer", LeftCol: "custkey", RightCol: "ckey"}},
+		Select:  []SelectItem{{Col: "segment"}, {Agg: expr.AggSum, Col: "amount", As: "rev"}},
+		GroupBy: []string{"segment"},
+		OrderBy: []expr.SortKey{{Col: "rev", Desc: true}},
+	}
+	node, _, err := cat.Plan(q, cm, MinEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := node.Run(exec.NewCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.N != 2 {
+		t.Fatalf("expected 2 segments, got %d", rel.N)
+	}
+	rev, _ := rel.Col("rev")
+	if rev.F[0] < rev.F[1] {
+		t.Error("ORDER BY rev DESC violated")
+	}
+}
+
+func TestPlannerErrors(t *testing.T) {
+	cat, _ := testCatalog(t, 100)
+	cm := NewCostModel(energy.DefaultModel())
+	if _, _, err := cat.Plan(&Query{}, cm, MinTime); err == nil {
+		t.Error("missing FROM must error")
+	}
+	q := &Query{From: "orders", Preds: []expr.Pred{{Col: "nope", Op: vec.EQ, Val: expr.IntVal(1)}}}
+	if _, _, err := cat.Plan(q, cm, MinTime); err == nil {
+		t.Error("unknown predicate column must error")
+	}
+}
+
+func TestEstimateMatchesMeasuredShape(t *testing.T) {
+	// The estimator does not need to match measured counters exactly, but
+	// the full-scan estimate must grow linearly with rows and the index
+	// estimate with selectivity — the property E2's crossover relies on.
+	cat, _ := testCatalog(t, 100000)
+	ts, _ := cat.Stats("orders")
+	small := EstimateFullScan(ts, []expr.Pred{{Col: "id", Op: vec.LT, Val: expr.IntVal(10)}}, 1)
+	tsBig := &TableStats{Name: "x", Rows: ts.Rows * 10, Cols: ts.Cols}
+	big := EstimateFullScan(tsBig, []expr.Pred{{Col: "id", Op: vec.LT, Val: expr.IntVal(10)}}, 1)
+	ratio := float64(big.BytesReadDRAM) / float64(small.BytesReadDRAM)
+	if math.Abs(ratio-10) > 1 {
+		t.Errorf("scan bytes should scale ~10x with rows, got %gx", ratio)
+	}
+	narrow := EstimateIndexScan(ts, []expr.Pred{{Col: "id", Op: vec.EQ, Val: expr.IntVal(5)}}, "id", 1)
+	wide := EstimateIndexScan(ts, []expr.Pred{{Col: "id", Op: vec.LE, Val: expr.IntVal(50000)}}, "id", 1)
+	if narrow.CacheMisses >= wide.CacheMisses {
+		t.Error("index cost must grow with selectivity")
+	}
+}
+
+func TestObjectiveStrings(t *testing.T) {
+	if MinTime.String() != "min-time" || MinEnergy.String() != "min-energy" || MinEDP.String() != "min-edp" {
+		t.Fatal("objective names wrong")
+	}
+}

@@ -1,0 +1,244 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/colstore"
+	"repro/internal/exec"
+	"repro/internal/expr"
+)
+
+// SelectItem is one output of a query: a plain column or an aggregate.
+type SelectItem struct {
+	Col string
+	Agg expr.AggFunc // AggNone for plain columns
+	As  string
+}
+
+// Name returns the output column name of the item.
+func (s SelectItem) Name() string {
+	if s.As != "" {
+		return s.As
+	}
+	if s.Agg == expr.AggNone {
+		return s.Col
+	}
+	name := strings.ToLower(s.Agg.String())
+	if s.Col != "" {
+		name += "_" + s.Col
+	}
+	return name
+}
+
+// JoinSpec joins the accumulated left side to a new table:
+// left.LeftCol = Table.RightCol.
+type JoinSpec struct {
+	Table    string
+	LeftCol  string
+	RightCol string
+}
+
+// Query is the logical query shared by the SQL front end and the
+// procedural builder — the "hybrid query language" surface of §II.
+type Query struct {
+	From    string
+	Joins   []JoinSpec
+	Preds   []expr.Pred
+	Select  []SelectItem
+	GroupBy []string
+	OrderBy []expr.SortKey
+	LimitN  int // 0 = no limit
+}
+
+// PlanInfo reports what the planner decided.
+type PlanInfo struct {
+	Explain string
+	Access  map[string]AccessChoice // per-table access decision
+	Est     Cost                    // total estimated cost
+}
+
+// Plan lowers the logical query onto the physical operator tree, choosing
+// access paths per table under the objective.
+func (c *Catalog) Plan(q *Query, cm *CostModel, obj Objective) (exec.Node, *PlanInfo, error) {
+	if q.From == "" {
+		return nil, nil, fmt.Errorf("opt: query has no FROM table")
+	}
+	info := &PlanInfo{Access: map[string]AccessChoice{}}
+
+	// Partition predicates by owning table.
+	tables := []string{q.From}
+	for _, j := range q.Joins {
+		tables = append(tables, j.Table)
+	}
+	predsOf := make(map[string][]expr.Pred)
+	for _, p := range q.Preds {
+		owner, err := c.ownerOf(p.Col, tables)
+		if err != nil {
+			return nil, nil, err
+		}
+		p, err = c.coercePred(p, owner)
+		if err != nil {
+			return nil, nil, err
+		}
+		predsOf[owner] = append(predsOf[owner], p)
+	}
+
+	// Needed columns per table: join keys plus referenced outputs.
+	needed := make(map[string]map[string]bool)
+	addNeed := func(col string) error {
+		owner, err := c.ownerOf(col, tables)
+		if err != nil {
+			return err
+		}
+		if needed[owner] == nil {
+			needed[owner] = map[string]bool{}
+		}
+		needed[owner][col] = true
+		return nil
+	}
+	for _, s := range q.Select {
+		if s.Col != "" {
+			if err := addNeed(s.Col); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	for _, g := range q.GroupBy {
+		if err := addNeed(g); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, k := range q.OrderBy {
+		// Order-by may reference aggregate aliases; those are not table
+		// columns.
+		if _, err := c.ownerOf(k.Col, tables); err == nil {
+			if err := addNeed(k.Col); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	for _, j := range q.Joins {
+		if err := addNeed(j.LeftCol); err != nil {
+			return nil, nil, err
+		}
+		if err := addNeed(j.RightCol); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	scan := func(table string) (exec.Node, error) {
+		preds := predsOf[table]
+		var sel []string
+		for col := range needed[table] {
+			sel = append(sel, col)
+		}
+		sortStrings(sel)
+		choice, err := ChooseAccess(c, cm, table, preds, len(sel), obj)
+		if err != nil {
+			return nil, err
+		}
+		info.Access[table] = choice
+		info.Est.Time += choice.Est.Time
+		info.Est.Energy += choice.Est.Energy
+		info.Est.Work.Add(choice.Est.Work)
+		tab, err := c.Table(table)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.Scan{Table: tab, Select: sel, Preds: preds, Access: choice.Spec}, nil
+	}
+
+	root, err := scan(q.From)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, j := range q.Joins {
+		right, err := scan(j.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		root = &exec.HashJoin{Left: root, Right: right, LeftKey: j.LeftCol, RightKey: j.RightCol}
+	}
+
+	// Aggregation.
+	hasAgg := len(q.GroupBy) > 0
+	for _, s := range q.Select {
+		if s.Agg != expr.AggNone {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		var aggs []expr.AggSpec
+		for _, s := range q.Select {
+			if s.Agg != expr.AggNone {
+				aggs = append(aggs, expr.AggSpec{Func: s.Agg, Col: s.Col, As: s.Name()})
+			}
+		}
+		root = &exec.HashAgg{Child: root, GroupBy: q.GroupBy, Aggs: aggs}
+	}
+	if len(q.OrderBy) > 0 {
+		root = &exec.Sort{Child: root, Keys: q.OrderBy}
+	}
+	if q.LimitN > 0 {
+		root = &exec.Limit{Child: root, N: q.LimitN}
+	}
+	// Final projection to the requested output shape (skip when the agg
+	// already produced exactly the requested columns).
+	if len(q.Select) > 0 && !hasAgg {
+		names := make([]string, len(q.Select))
+		for i, s := range q.Select {
+			names[i] = s.Name()
+		}
+		root = &exec.Project{Child: root, Names: names}
+	}
+	info.Explain = exec.Explain(root)
+	return root, info, nil
+}
+
+// coercePred adapts numeric literal types to the column type, so SQL like
+// `amount > 100` works against a DOUBLE column.
+func (c *Catalog) coercePred(p expr.Pred, table string) (expr.Pred, error) {
+	ts, err := c.Stats(table)
+	if err != nil {
+		return p, err
+	}
+	cs := ts.Cols[p.Col]
+	switch {
+	case cs.Type == colstore.Float64 && p.Val.Kind == colstore.Int64:
+		p.Val = expr.FloatVal(float64(p.Val.I))
+	case cs.Type == colstore.Int64 && p.Val.Kind == colstore.Float64:
+		i := int64(p.Val.F)
+		if float64(i) != p.Val.F {
+			return p, fmt.Errorf("opt: non-integral literal %g compared with BIGINT column %q", p.Val.F, p.Col)
+		}
+		p.Val = expr.IntVal(i)
+	case cs.Type == colstore.String && p.Val.Kind != colstore.String:
+		return p, fmt.Errorf("opt: numeric literal compared with VARCHAR column %q", p.Col)
+	case cs.Type != colstore.String && p.Val.Kind == colstore.String:
+		return p, fmt.Errorf("opt: string literal compared with numeric column %q", p.Col)
+	}
+	return p, nil
+}
+
+// ownerOf resolves a column to the first table in the query that has it.
+func (c *Catalog) ownerOf(col string, tables []string) (string, error) {
+	for _, tn := range tables {
+		ts, err := c.Stats(tn)
+		if err != nil {
+			return "", err
+		}
+		if _, ok := ts.Cols[col]; ok {
+			return tn, nil
+		}
+	}
+	return "", fmt.Errorf("opt: column %q not found in %v", col, tables)
+}
+
+func sortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the logical query back to SQL text.  The rendering is
+// canonical: parsing it again yields an equivalent Query (round-trip
+// property tested in internal/sql), which gives EXPLAIN output, logs, and
+// the CLI one textual form for both language fronts.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if len(q.Select) == 0 {
+		b.WriteString("*")
+	} else {
+		for i, s := range q.Select {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if s.Agg == 0 { // expr.AggNone
+				b.WriteString(s.Col)
+			} else {
+				col := s.Col
+				if col == "" {
+					col = "*"
+				}
+				fmt.Fprintf(&b, "%s(%s)", s.Agg, col)
+			}
+			if s.As != "" {
+				fmt.Fprintf(&b, " AS %s", s.As)
+			}
+		}
+	}
+	fmt.Fprintf(&b, " FROM %s", q.From)
+	for _, j := range q.Joins {
+		fmt.Fprintf(&b, " JOIN %s ON %s = %s", j.Table, j.LeftCol, j.RightCol)
+	}
+	if len(q.Preds) > 0 {
+		b.WriteString(" WHERE ")
+		for i, p := range q.Preds {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(p.String())
+		}
+	}
+	if len(q.GroupBy) > 0 {
+		fmt.Fprintf(&b, " GROUP BY %s", strings.Join(q.GroupBy, ", "))
+	}
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, k := range q.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(k.String())
+		}
+	}
+	if q.LimitN > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.LimitN)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package opt
+
+import (
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/energy"
+	"repro/internal/netsim"
+)
+
+// The compress-vs-send decision (paper §IV: "an optimizer has to decide
+// about sending intermediate data in a compressed or uncompressed format
+// to other nodes or even sockets on the same board ... the optimizer has
+// to decide on a case-by-case basis").
+
+// ShipPlan is one priced shipping alternative.
+type ShipPlan struct {
+	Codec compress.Codec
+	Ratio float64 // predicted compressed/raw size
+	Cost  Cost
+}
+
+// EstimateShip prices shipping n values (rawBytes total) through link
+// with the codec at the predicted compression ratio.
+func EstimateShip(cm *CostModel, n int, rawBytes uint64, ratio float64, codec compress.Codec, link *netsim.Link) Cost {
+	wire := uint64(float64(rawBytes) * ratio)
+	if wire == 0 && rawBytes > 0 {
+		wire = 1
+	}
+	var w energy.Counters
+	w.Instructions = uint64(float64(n) * codec.CostFactor() * 2) // compress + decompress
+	w.BytesReadDRAM = rawBytes
+	w.BytesWrittenDRAM = rawBytes
+	w.BytesSentLink = wire
+	w.BytesRecvLink = wire
+	w.Messages = (wire + link.MTU - 1) / link.MTU
+	wireTime := link.Latency + time.Duration(float64(wire)/link.Bandwidth*float64(time.Second))
+	c := cm.Price(w, wireTime)
+	// Link idle power burns for the whole transfer.
+	c.Energy += energy.StaticEnergy(link.Idle, wireTime)
+	return c
+}
+
+// ChooseCodec picks the best codec for shipping the given values over the
+// link under the objective.  Ratios are predicted from a bounded sample so
+// the decision itself stays cheap.
+func ChooseCodec(cm *CostModel, values []int64, link *netsim.Link, obj Objective) ShipPlan {
+	rawBytes := uint64(len(values)) * 8
+	sample := values
+	if len(sample) > 8192 {
+		sample = values[:8192]
+	}
+	best := ShipPlan{}
+	for _, codec := range compress.All() {
+		ratio := 1.0
+		if codec.Name() != "none" {
+			ratio = compress.Ratio(codec, sample)
+		}
+		c := EstimateShip(cm, len(values), rawBytes, ratio, codec, link)
+		if best.Codec == nil || obj.Better(c, best.Cost) {
+			best = ShipPlan{Codec: codec, Ratio: ratio, Cost: c}
+		}
+	}
+	return best
+}
+
+// OracleCodec actually compresses with every codec and returns the codec
+// with the best *measured* objective value — the ground truth experiment
+// E3 compares the estimator against.
+func OracleCodec(cm *CostModel, values []int64, link *netsim.Link, obj Objective) ShipPlan {
+	rawBytes := uint64(len(values)) * 8
+	best := ShipPlan{}
+	for _, codec := range compress.All() {
+		payload := codec.Compress(values)
+		ratio := float64(len(payload)) / float64(rawBytes)
+		c := EstimateShip(cm, len(values), rawBytes, ratio, codec, link)
+		if best.Codec == nil || obj.Better(c, best.Cost) {
+			best = ShipPlan{Codec: codec, Ratio: ratio, Cost: c}
+		}
+	}
+	return best
+}

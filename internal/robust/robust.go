@@ -1,0 +1,142 @@
+// Package robust reproduces the paper's robustness argument (§IV): "while
+// short read requests can easily be repeated, intermediate results of
+// long-running analytical queries ... have to be preserved and
+// transparently used for a restart."  A query is modeled as a pipeline of
+// equal stages; failures strike at arbitrary progress points; two
+// recovery policies compete (experiment E8):
+//
+//   - Rerun: restart from scratch (right for short queries).
+//   - Checkpoint(k): persist intermediate state every k stages and resume
+//     from the last checkpoint (right for long queries, at the price of
+//     checkpoint overhead when nothing fails).
+package robust
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/workload"
+)
+
+// Query models a long-running query as S identical stages.
+type Query struct {
+	Stages    int
+	StageTime time.Duration
+	StageWork energy.Counters
+	CkptTime  time.Duration // cost of persisting a checkpoint
+	CkptBytes uint64        // intermediate-state size written per checkpoint
+}
+
+// Policy is a recovery strategy.
+type Policy struct {
+	// Every is the checkpoint interval in stages; 0 disables
+	// checkpointing (pure rerun).
+	Every int
+}
+
+// Rerun is the restart-from-scratch policy.
+var Rerun = Policy{Every: 0}
+
+// Checkpoint returns a policy that checkpoints every k stages.
+func Checkpoint(k int) Policy {
+	if k <= 0 {
+		panic("robust: checkpoint interval must be positive")
+	}
+	return Policy{Every: k}
+}
+
+// String names the policy.
+func (p Policy) String() string {
+	if p.Every == 0 {
+		return "rerun"
+	}
+	return fmt.Sprintf("checkpoint-%d", p.Every)
+}
+
+// Report summarizes one simulated execution with failures.
+type Report struct {
+	TotalTime  time.Duration // wall time including redone work and checkpoints
+	UsefulTime time.Duration // Stages × StageTime
+	WastedTime time.Duration // re-executed stages
+	CkptTime   time.Duration // checkpoint overhead
+	Failures   int
+	Work       energy.Counters // total work including redone stages + checkpoints
+}
+
+// Run simulates executing q under policy p with failures striking at the
+// given stage indices (relative to overall progress: a failure entry f
+// means the f-th stage execution attempt is interrupted).  Failures are
+// consumed in order; once exhausted, the query runs to completion.
+func Run(q Query, p Policy, failures []int) Report {
+	var rep Report
+	rep.UsefulTime = time.Duration(q.Stages) * q.StageTime
+	done := 0     // stages completed since the start or the last resume
+	ckpt := 0     // last checkpointed stage
+	fi := 0       // next failure
+	attempts := 0 // total stage executions so far (for failure matching)
+	for done < q.Stages {
+		// Execute the next stage.
+		if fi < len(failures) && attempts == failures[fi] {
+			// Failure mid-stage: lose all progress since the checkpoint.
+			fi++
+			rep.Failures++
+			rep.TotalTime += q.StageTime / 2 // half the failed stage ran
+			rep.Work.Add(q.StageWork.Scale(0.5))
+			done = ckpt
+			attempts++
+			continue
+		}
+		rep.TotalTime += q.StageTime
+		rep.Work.Add(q.StageWork)
+		done++
+		attempts++
+		if p.Every > 0 && done%p.Every == 0 && done < q.Stages {
+			rep.TotalTime += q.CkptTime
+			rep.CkptTime += q.CkptTime
+			var w energy.Counters
+			w.BytesWrittenSSD = q.CkptBytes
+			rep.Work.Add(w)
+			ckpt = done
+		}
+	}
+	// Waste = everything beyond the useful stage work and the checkpoint
+	// overhead: re-executed stages plus half-run failed stages.
+	rep.WastedTime = rep.TotalTime - rep.UsefulTime - rep.CkptTime
+	return rep
+}
+
+// FailuresAtProgress builds a failure schedule hitting the query once at
+// the given progress fraction (0..1) of its stage count.
+func FailuresAtProgress(q Query, frac float64) []int {
+	at := int(float64(q.Stages) * frac)
+	if at >= q.Stages {
+		at = q.Stages - 1
+	}
+	if at < 0 {
+		at = 0
+	}
+	return []int{at}
+}
+
+// RandomFailures draws k distinct failure points over roughly twice the
+// stage count (failures can hit re-executed work too).
+func RandomFailures(seed uint64, q Query, k int) []int {
+	rng := workload.NewRNG(seed)
+	seen := map[int]bool{}
+	var out []int
+	for len(out) < k {
+		f := rng.Intn(q.Stages * 2)
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	// Failure schedule must be sorted: attempts increase monotonically.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

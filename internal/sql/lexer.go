@@ -1,0 +1,110 @@
+// Package sql is the declarative half of the paper's "hybrid query
+// language" (§II): a compact SQL subset — SELECT with aggregates, JOIN,
+// WHERE conjunctions, GROUP BY, ORDER BY, LIMIT — parsed into the same
+// logical opt.Query that the procedural builder produces, so both fronts
+// share one optimizer and executor (experiment E14 verifies the plans are
+// identical).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits input into tokens.  Keywords stay tokIdent; the parser
+// matches them case-insensitively.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < n && input[j] != '\'' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: input[i+1 : j], pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9' && expectsValue(toks)):
+			j := i + 1
+			seenDot := false
+			for j < n && (input[j] >= '0' && input[j] <= '9' || (input[j] == '.' && !seenDot)) {
+				if input[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[i:j], pos: i})
+			i = j
+		default:
+			// Multi-char operators first.
+			for _, op := range []string{"<=", ">=", "<>", "!="} {
+				if strings.HasPrefix(input[i:], op) {
+					toks = append(toks, token{kind: tokSymbol, text: op, pos: i})
+					i += len(op)
+					goto next
+				}
+			}
+			switch c {
+			case ',', '(', ')', '*', '=', '<', '>', ';':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			}
+		next:
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+// expectsValue reports whether a '-' at the current position begins a
+// negative literal (after an operator) rather than anything else.
+func expectsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return false
+	}
+	last := toks[len(toks)-1]
+	return last.kind == tokSymbol && last.text != ")"
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}

@@ -1,0 +1,308 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/opt"
+	"repro/internal/vec"
+)
+
+// Parse turns a SQL text into the shared logical query form.
+func Parse(input string) (*opt.Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if p.toks[p.i].kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool {
+	// A trailing semicolon is allowed.
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.i++
+	}
+	return p.peek().kind == tokEOF
+}
+
+// matchKw consumes the given keyword (case-insensitive) if present.
+func (p *parser) matchKw(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.matchKw(kw) {
+		return fmt.Errorf("sql: expected %s, found %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectSym(s string) error {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == s {
+		p.i++
+		return nil
+	}
+	return fmt.Errorf("sql: expected %q, found %q", s, t.text)
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier, found %q", t.text)
+	}
+	p.i++
+	return t.text, nil
+}
+
+var aggNames = map[string]expr.AggFunc{
+	"count": expr.AggCount,
+	"sum":   expr.AggSum,
+	"min":   expr.AggMin,
+	"max":   expr.AggMax,
+	"avg":   expr.AggAvg,
+}
+
+func (p *parser) parseQuery() (*opt.Query, error) {
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	q := &opt.Query{}
+	if err := p.parseSelectList(q); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	from, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	q.From = from
+	for p.matchKw("join") {
+		j, err := p.parseJoin()
+		if err != nil {
+			return nil, err
+		}
+		q.Joins = append(q.Joins, j)
+	}
+	if p.matchKw("where") {
+		for {
+			pred, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			q.Preds = append(q.Preds, pred)
+			if !p.matchKw("and") {
+				break
+			}
+		}
+	}
+	if p.matchKw("group") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, col)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.i++
+				continue
+			}
+			break
+		}
+	}
+	if p.matchKw("order") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			key := expr.SortKey{Col: col}
+			if p.matchKw("desc") {
+				key.Desc = true
+			} else {
+				p.matchKw("asc")
+			}
+			q.OrderBy = append(q.OrderBy, key)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.i++
+				continue
+			}
+			break
+		}
+	}
+	if p.matchKw("limit") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sql: LIMIT expects a number, found %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad LIMIT %q", t.text)
+		}
+		q.LimitN = n
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectList(q *opt.Query) error {
+	if p.peek().kind == tokSymbol && p.peek().text == "*" {
+		p.i++ // SELECT * = empty select list (all columns)
+		return nil
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return err
+		}
+		q.Select = append(q.Select, item)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.i++
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseSelectItem() (opt.SelectItem, error) {
+	name, err := p.ident()
+	if err != nil {
+		return opt.SelectItem{}, err
+	}
+	item := opt.SelectItem{Col: name}
+	if f, ok := aggNames[strings.ToLower(name)]; ok && p.peek().kind == tokSymbol && p.peek().text == "(" {
+		p.i++
+		item = opt.SelectItem{Agg: f}
+		if p.peek().kind == tokSymbol && p.peek().text == "*" {
+			if f != expr.AggCount {
+				return item, fmt.Errorf("sql: %s(*) is only valid for COUNT", strings.ToUpper(name))
+			}
+			p.i++
+		} else {
+			col, err := p.ident()
+			if err != nil {
+				return item, err
+			}
+			item.Col = col
+		}
+		if err := p.expectSym(")"); err != nil {
+			return item, err
+		}
+	}
+	if p.matchKw("as") {
+		as, err := p.ident()
+		if err != nil {
+			return item, err
+		}
+		item.As = as
+	}
+	return item, nil
+}
+
+func (p *parser) parseJoin() (opt.JoinSpec, error) {
+	table, err := p.ident()
+	if err != nil {
+		return opt.JoinSpec{}, err
+	}
+	if err := p.expectKw("on"); err != nil {
+		return opt.JoinSpec{}, err
+	}
+	left, err := p.ident()
+	if err != nil {
+		return opt.JoinSpec{}, err
+	}
+	if err := p.expectSym("="); err != nil {
+		return opt.JoinSpec{}, err
+	}
+	right, err := p.ident()
+	if err != nil {
+		return opt.JoinSpec{}, err
+	}
+	return opt.JoinSpec{Table: table, LeftCol: stripQual(left), RightCol: stripQual(right)}, nil
+}
+
+var opNames = map[string]vec.CmpOp{
+	"=": vec.EQ, "<>": vec.NE, "!=": vec.NE,
+	"<": vec.LT, "<=": vec.LE, ">": vec.GT, ">=": vec.GE,
+}
+
+func (p *parser) parsePred() (expr.Pred, error) {
+	col, err := p.ident()
+	if err != nil {
+		return expr.Pred{}, err
+	}
+	t := p.next()
+	op, ok := opNames[t.text]
+	if t.kind != tokSymbol || !ok {
+		return expr.Pred{}, fmt.Errorf("sql: expected comparison operator, found %q", t.text)
+	}
+	v := p.next()
+	pred := expr.Pred{Col: stripQual(col), Op: op}
+	switch v.kind {
+	case tokNumber:
+		if strings.Contains(v.text, ".") {
+			f, err := strconv.ParseFloat(v.text, 64)
+			if err != nil {
+				return pred, fmt.Errorf("sql: bad number %q", v.text)
+			}
+			pred.Val = expr.FloatVal(f)
+		} else {
+			n, err := strconv.ParseInt(v.text, 10, 64)
+			if err != nil {
+				return pred, fmt.Errorf("sql: bad number %q", v.text)
+			}
+			pred.Val = expr.IntVal(n)
+		}
+	case tokString:
+		pred.Val = expr.StrVal(v.text)
+	default:
+		return pred, fmt.Errorf("sql: expected literal, found %q", v.text)
+	}
+	return pred, nil
+}
+
+// stripQual removes a table qualifier ("orders.custkey" -> "custkey");
+// the planner resolves ownership by schema membership.
+func stripQual(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}

@@ -1,0 +1,78 @@
+package sql
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+	"repro/internal/opt"
+	"repro/internal/vec"
+)
+
+// TestQueryStringRoundTrip: rendering a logical query to SQL and parsing
+// it back yields the same logical query.  This pins the two language
+// fronts (builder and SQL) to one canonical textual form.
+func TestQueryStringRoundTrip(t *testing.T) {
+	cases := []*opt.Query{
+		{From: "t"},
+		{From: "t", Select: []opt.SelectItem{{Col: "a"}, {Col: "b", As: "bb"}}},
+		{
+			From:  "orders",
+			Joins: []opt.JoinSpec{{Table: "customer", LeftCol: "custkey", RightCol: "ckey"}},
+			Preds: []expr.Pred{
+				{Col: "amount", Op: vec.GT, Val: expr.FloatVal(10.5)},
+				{Col: "region", Op: vec.EQ, Val: expr.StrVal("ASIA")},
+				{Col: "id", Op: vec.NE, Val: expr.IntVal(-3)},
+			},
+			Select: []opt.SelectItem{
+				{Col: "region"},
+				{Agg: expr.AggSum, Col: "amount", As: "rev"},
+				{Agg: expr.AggCount, As: "n"},
+			},
+			GroupBy: []string{"region"},
+			OrderBy: []expr.SortKey{{Col: "rev", Desc: true}, {Col: "region"}},
+			LimitN:  7,
+		},
+	}
+	for _, q := range cases {
+		text := q.String()
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", text, err)
+		}
+		if !reflect.DeepEqual(back, q) {
+			t.Fatalf("round trip changed the query:\n in: %#v\nout: %#v\nsql: %s", q, back, text)
+		}
+	}
+}
+
+// TestQueryStringRoundTripProperty fuzzes structurally valid queries.
+func TestQueryStringRoundTripProperty(t *testing.T) {
+	ops := []vec.CmpOp{vec.LT, vec.LE, vec.GT, vec.GE, vec.EQ, vec.NE}
+	cols := []string{"a", "b", "c", "d"}
+	f := func(nPred, nSel uint8, opPick uint8, c int64, desc bool, limit uint8) bool {
+		q := &opt.Query{From: "t", LimitN: int(limit % 20)}
+		for i := 0; i < int(nPred%4); i++ {
+			q.Preds = append(q.Preds, expr.Pred{
+				Col: cols[(int(opPick)+i)%len(cols)],
+				Op:  ops[(int(opPick)+i)%len(ops)],
+				Val: expr.IntVal(c % 1000),
+			})
+		}
+		for i := 0; i < int(nSel%3); i++ {
+			q.Select = append(q.Select, opt.SelectItem{Col: cols[i]})
+		}
+		if nSel%2 == 0 && len(q.Select) > 0 {
+			q.OrderBy = []expr.SortKey{{Col: q.Select[0].Col, Desc: desc}}
+		}
+		back, err := Parse(q.String())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(back, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

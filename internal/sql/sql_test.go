@@ -1,0 +1,156 @@
+package sql
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/opt"
+	"repro/internal/vec"
+)
+
+func TestParseSimpleSelect(t *testing.T) {
+	q, err := Parse("SELECT id, amount FROM orders WHERE custkey < 10 AND region = 'ASIA' LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.From != "orders" || q.LimitN != 5 {
+		t.Fatalf("basic fields wrong: %+v", q)
+	}
+	wantSel := []opt.SelectItem{{Col: "id"}, {Col: "amount"}}
+	if !reflect.DeepEqual(q.Select, wantSel) {
+		t.Fatalf("select = %+v", q.Select)
+	}
+	wantPreds := []expr.Pred{
+		{Col: "custkey", Op: vec.LT, Val: expr.IntVal(10)},
+		{Col: "region", Op: vec.EQ, Val: expr.StrVal("ASIA")},
+	}
+	if !reflect.DeepEqual(q.Preds, wantPreds) {
+		t.Fatalf("preds = %+v", q.Preds)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	q, err := Parse("SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 0 {
+		t.Fatal("SELECT * must produce an empty select list")
+	}
+}
+
+func TestParseAggregatesGroupOrder(t *testing.T) {
+	q, err := Parse(`SELECT region, SUM(amount) AS rev, COUNT(*) AS n, AVG(amount)
+		FROM orders GROUP BY region ORDER BY rev DESC, region ASC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 4 {
+		t.Fatalf("select list = %+v", q.Select)
+	}
+	if q.Select[1].Agg != expr.AggSum || q.Select[1].As != "rev" {
+		t.Fatalf("sum item = %+v", q.Select[1])
+	}
+	if q.Select[2].Agg != expr.AggCount || q.Select[2].Col != "" {
+		t.Fatalf("count item = %+v", q.Select[2])
+	}
+	if q.Select[3].Agg != expr.AggAvg || q.Select[3].Col != "amount" {
+		t.Fatalf("avg item = %+v", q.Select[3])
+	}
+	if !reflect.DeepEqual(q.GroupBy, []string{"region"}) {
+		t.Fatalf("group by = %v", q.GroupBy)
+	}
+	want := []expr.SortKey{{Col: "rev", Desc: true}, {Col: "region"}}
+	if !reflect.DeepEqual(q.OrderBy, want) {
+		t.Fatalf("order by = %+v", q.OrderBy)
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	q, err := Parse("SELECT segment FROM orders JOIN customer ON orders.custkey = customer.ckey WHERE amount >= 100.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Joins) != 1 {
+		t.Fatalf("joins = %+v", q.Joins)
+	}
+	j := q.Joins[0]
+	if j.Table != "customer" || j.LeftCol != "custkey" || j.RightCol != "ckey" {
+		t.Fatalf("join = %+v", j)
+	}
+	if q.Preds[0].Val.Kind.String() != "DOUBLE" || q.Preds[0].Val.F != 100.5 {
+		t.Fatalf("float literal mishandled: %+v", q.Preds[0])
+	}
+}
+
+func TestParseNegativeNumbersAndOps(t *testing.T) {
+	q, err := Parse("SELECT a FROM t WHERE a >= -5 AND b <> -1.5 AND c != 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0].Val.I != -5 {
+		t.Fatalf("negative int literal = %+v", q.Preds[0].Val)
+	}
+	if q.Preds[1].Op != vec.NE || q.Preds[1].Val.F != -1.5 {
+		t.Fatalf("NE float literal = %+v", q.Preds[1])
+	}
+	if q.Preds[2].Op != vec.NE {
+		t.Fatalf("!= operator = %+v", q.Preds[2])
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	if _, err := Parse("SELECT a FROM t;"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q, err := Parse("select A from T where A = 1 group by A order by A limit 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.From != "T" || len(q.GroupBy) != 1 || q.LimitN != 1 {
+		t.Fatalf("lowercase keywords mishandled: %+v", q)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a",
+		"SELECT a FROM t WHERE a <",
+		"SELECT a FROM t WHERE a < 'x",   // unterminated string
+		"SELECT a FROM t WHERE a ~ 3",    // bad operator
+		"SELECT SUM(*) FROM t",           // SUM(*) invalid
+		"SELECT a FROM t LIMIT x",        // non-numeric limit
+		"SELECT a FROM t JOIN u ON a = ", // incomplete join
+		"SELECT a FROM t extra",          // trailing tokens
+		"SELECT a FROM t GROUP region",   // missing BY
+		"SELECT a, FROM t",               // dangling comma
+		"SELECT count(a FROM t",          // missing paren
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("expected parse error for %q", s)
+		}
+	}
+}
+
+func TestLexerOffsets(t *testing.T) {
+	toks, err := lex("a <= 'xy'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "a" || toks[1].text != "<=" || toks[2].text != "xy" {
+		t.Fatalf("tokens = %+v", toks)
+	}
+	if toks[3].kind != tokEOF {
+		t.Fatal("missing EOF token")
+	}
+}

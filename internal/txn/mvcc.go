@@ -1,0 +1,127 @@
+package txn
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// MVCC is a multi-version key-value store with snapshot reads and
+// first-committer-wins write conflicts — the optimistic, latch-light
+// concurrency design of the paper's reference [18] (Hekaton-style), in
+// miniature.  Readers never block writers; writers never block readers;
+// conflicting writers abort at commit.
+type MVCC struct {
+	mu    sync.RWMutex
+	ts    atomic.Int64
+	chain map[string][]version // newest last
+}
+
+type version struct {
+	commitTS int64
+	value    int64
+}
+
+// NewMVCC returns an empty store.
+func NewMVCC() *MVCC { return &MVCC{chain: make(map[string][]version)} }
+
+// ErrConflict is returned when a transaction loses a write-write race.
+var ErrConflict = fmt.Errorf("txn: write-write conflict, transaction aborted")
+
+// Tx is an MVCC transaction: a snapshot timestamp, a read set, and
+// buffered writes.
+type Tx struct {
+	db     *MVCC
+	snapTS int64
+	writes map[string]int64
+	done   bool
+}
+
+// Begin starts a transaction at the current snapshot.
+func (m *MVCC) Begin() *Tx {
+	return &Tx{db: m, snapTS: m.ts.Load(), writes: make(map[string]int64)}
+}
+
+// readAt returns the value of key visible at ts.
+func (m *MVCC) readAt(key string, ts int64) (int64, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ch := m.chain[key]
+	for i := len(ch) - 1; i >= 0; i-- {
+		if ch[i].commitTS <= ts {
+			return ch[i].value, true
+		}
+	}
+	return 0, false
+}
+
+// Get reads key at the transaction snapshot (own writes win).
+func (t *Tx) Get(key string) (int64, bool) {
+	if v, ok := t.writes[key]; ok {
+		return v, true
+	}
+	return t.db.readAt(key, t.snapTS)
+}
+
+// Set buffers a write.
+func (t *Tx) Set(key string, v int64) { t.writes[key] = v }
+
+// Commit validates that no written key has a version newer than the
+// snapshot (first committer wins) and installs the writes atomically.
+func (t *Tx) Commit() error {
+	if t.done {
+		return fmt.Errorf("txn: transaction already finished")
+	}
+	t.done = true
+	if len(t.writes) == 0 {
+		return nil
+	}
+	m := t.db
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key := range t.writes {
+		ch := m.chain[key]
+		if len(ch) > 0 && ch[len(ch)-1].commitTS > t.snapTS {
+			return ErrConflict
+		}
+	}
+	commitTS := m.ts.Add(1)
+	for key, v := range t.writes {
+		m.chain[key] = append(m.chain[key], version{commitTS: commitTS, value: v})
+	}
+	return nil
+}
+
+// Abort discards the transaction.
+func (t *Tx) Abort() { t.done = true }
+
+// ReadCommitted reads the latest committed value outside any transaction.
+func (m *MVCC) ReadCommitted(key string) (int64, bool) {
+	return m.readAt(key, m.ts.Load())
+}
+
+// Versions returns how many versions key has accumulated (GC/diagnostic).
+func (m *MVCC) Versions(key string) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.chain[key])
+}
+
+// Vacuum drops all but the newest version visible at or before ts,
+// bounding version-chain growth.
+func (m *MVCC) Vacuum(ts int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key, ch := range m.chain {
+		keepFrom := 0
+		for i := len(ch) - 1; i >= 0; i-- {
+			if ch[i].commitTS <= ts {
+				keepFrom = i
+				break
+			}
+		}
+		if keepFrom > 0 {
+			m.chain[key] = append([]version(nil), ch[keepFrom:]...)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package vec provides bit vectors and word-parallel packed scans — the
+// repository's substitute for the SIMD-vectorized scans the paper assumes.
+//
+// Go exposes no SIMD intrinsics, so data-level parallelism is expressed
+// with SIMD-within-a-register (SWAR) techniques in the style of
+// BitWeaving/H: k-bit column codes are packed into 64-bit words with one
+// delimiter bit per code, and comparison predicates over all codes in a
+// word are evaluated with a handful of arithmetic/logical instructions and
+// no per-tuple branches.  Results are bit vectors that combine with
+// boolean algebra and convert to selection lists.
+package vec
+
+import "math/bits"
+
+// Bitvec is a fixed-length vector of bits, the canonical intermediate
+// result of predicate evaluation.
+type Bitvec struct {
+	n     int
+	words []uint64
+}
+
+// NewBitvec returns an all-zero bit vector of length n.
+func NewBitvec(n int) *Bitvec {
+	return &Bitvec{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of bits.
+func (b *Bitvec) Len() int { return b.n }
+
+// Words exposes the underlying words (the last word's tail bits beyond
+// Len are always zero).
+func (b *Bitvec) Words() []uint64 { return b.words }
+
+// Set sets bit i.
+func (b *Bitvec) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b *Bitvec) Clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports bit i.
+func (b *Bitvec) Get(i int) bool { return b.words[i>>6]>>(uint(i)&63)&1 == 1 }
+
+// SetAll sets every bit in [0, Len).
+func (b *Bitvec) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.maskTail()
+}
+
+// Reset clears every bit.
+func (b *Bitvec) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// maskTail zeroes the unused bits of the final word.
+func (b *Bitvec) maskTail() {
+	if r := uint(b.n) & 63; r != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (uint64(1) << r) - 1
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitvec) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// And intersects o into b (lengths must match).
+func (b *Bitvec) And(o *Bitvec) {
+	checkLen(b, o)
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+}
+
+// Or unions o into b.
+func (b *Bitvec) Or(o *Bitvec) {
+	checkLen(b, o)
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+}
+
+// AndNot removes o's bits from b.
+func (b *Bitvec) AndNot(o *Bitvec) {
+	checkLen(b, o)
+	for i := range b.words {
+		b.words[i] &^= o.words[i]
+	}
+}
+
+// Not complements b in place.
+func (b *Bitvec) Not() {
+	for i := range b.words {
+		b.words[i] = ^b.words[i]
+	}
+	b.maskTail()
+}
+
+// Clone returns a copy of b.
+func (b *Bitvec) Clone() *Bitvec {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitvec{n: b.n, words: w}
+}
+
+// Indices returns the positions of all set bits in ascending order — the
+// bridge from bit vectors to selection lists.
+func (b *Bitvec) Indices() []int32 {
+	out := make([]int32, 0, b.Count())
+	for wi, w := range b.words {
+		base := int32(wi << 6)
+		for w != 0 {
+			out = append(out, base+int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (b *Bitvec) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		base := wi << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+func checkLen(a, b *Bitvec) {
+	if a.n != b.n {
+		panic("vec: bit vector length mismatch")
+	}
+}

@@ -1,0 +1,116 @@
+package vec
+
+// Scalar reference scans over unpacked []int64 columns.  These are the
+// baselines of experiment E7: the branching scan models a traditional
+// tuple-at-a-time selection whose cost depends on branch prediction
+// (Ross, "Selection conditions in main memory"); the predicated scan is
+// branch-free but still one comparison per tuple; the packed scan in
+// packed.go is the word-parallel contender.
+
+func cmpHolds(op CmpOp, v, c int64) bool {
+	switch op {
+	case LT:
+		return v < c
+	case LE:
+		return v <= c
+	case GT:
+		return v > c
+	case GE:
+		return v >= c
+	case EQ:
+		return v == c
+	case NE:
+		return v != c
+	}
+	return false
+}
+
+// ScanBranching evaluates `v op c` with a data-dependent branch per tuple
+// and sets matching bits in out.
+func ScanBranching(values []int64, op CmpOp, c int64, out *Bitvec) {
+	if out.Len() != len(values) {
+		panic("vec: result bit vector length mismatch")
+	}
+	switch op {
+	case LT:
+		for i, v := range values {
+			if v < c {
+				out.Set(i)
+			}
+		}
+	case LE:
+		for i, v := range values {
+			if v <= c {
+				out.Set(i)
+			}
+		}
+	case GT:
+		for i, v := range values {
+			if v > c {
+				out.Set(i)
+			}
+		}
+	case GE:
+		for i, v := range values {
+			if v >= c {
+				out.Set(i)
+			}
+		}
+	case EQ:
+		for i, v := range values {
+			if v == c {
+				out.Set(i)
+			}
+		}
+	case NE:
+		for i, v := range values {
+			if v != c {
+				out.Set(i)
+			}
+		}
+	}
+}
+
+// ScanPredicated evaluates `v op c` without data-dependent branches: the
+// comparison result is converted to a bit and OR-ed into the output word,
+// so the loop's control flow is independent of the data.
+func ScanPredicated(values []int64, op CmpOp, c int64, out *Bitvec) {
+	if out.Len() != len(values) {
+		panic("vec: result bit vector length mismatch")
+	}
+	words := out.words
+	switch op {
+	case LT:
+		for i, v := range values {
+			words[i>>6] |= uint64(b2u(v < c)) << (uint(i) & 63)
+		}
+	case LE:
+		for i, v := range values {
+			words[i>>6] |= uint64(b2u(v <= c)) << (uint(i) & 63)
+		}
+	case GT:
+		for i, v := range values {
+			words[i>>6] |= uint64(b2u(v > c)) << (uint(i) & 63)
+		}
+	case GE:
+		for i, v := range values {
+			words[i>>6] |= uint64(b2u(v >= c)) << (uint(i) & 63)
+		}
+	case EQ:
+		for i, v := range values {
+			words[i>>6] |= uint64(b2u(v == c)) << (uint(i) & 63)
+		}
+	case NE:
+		for i, v := range values {
+			words[i>>6] |= uint64(b2u(v != c)) << (uint(i) & 63)
+		}
+	}
+}
+
+// b2u converts a bool to 0/1 without a branch in the generated code.
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,169 @@
+package wal
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/workload"
+)
+
+func TestLevelOrderingLatencyAndEnergy(t *testing.T) {
+	// E9's central shape: commit latency and energy must rise strictly
+	// with the reliability level.
+	model := energy.DefaultModel()
+	levels := []Level{Volatile, Local, Repl2, Repl3}
+	var lastLat time.Duration = -1
+	var lastJ energy.Joules = -1
+	for _, lv := range levels {
+		l := NewLog(DefaultConfig())
+		l.Append(Record{TxID: 1, Key: "a", Value: 1}, Record{TxID: 1, Key: "b", Value: 2})
+		rep, err := l.Commit(lv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := model.DynamicEnergy(rep.Work, model.Core.MaxPState()).Total()
+		if rep.Latency < lastLat {
+			t.Errorf("%v: latency %v below weaker level's %v", lv, rep.Latency, lastLat)
+		}
+		if j < lastJ {
+			t.Errorf("%v: energy %v below weaker level's %v", lv, j, lastJ)
+		}
+		lastLat, lastJ = rep.Latency, j
+	}
+}
+
+func TestCommitIdempotentWhenNothingPending(t *testing.T) {
+	l := NewLog(DefaultConfig())
+	l.Append(Record{TxID: 1, Key: "x", Value: 1})
+	if _, err := l.Commit(Local); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := l.Commit(Repl3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Latency != 0 || !rep.Work.IsZero() {
+		t.Error("empty commit must be free")
+	}
+}
+
+func TestCrashLosesOnlyVolatileTail(t *testing.T) {
+	l := NewLog(DefaultConfig())
+	l.Append(Record{TxID: 1, Key: "a", Value: 1})
+	if _, err := l.Commit(Local); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{TxID: 2, Key: "b", Value: 2}) // never committed
+	l.Crash()
+	state := map[string]int64{}
+	l.Recover(func(r Record) { state[r.Key] = r.Value })
+	if state["a"] != 1 {
+		t.Error("durable record lost in crash")
+	}
+	if _, ok := state["b"]; ok {
+		t.Error("uncommitted record survived crash")
+	}
+}
+
+func TestRecoveryIdempotent(t *testing.T) {
+	l := NewLog(DefaultConfig())
+	l.Append(
+		Record{TxID: 1, Key: "k", Value: 1},
+		Record{TxID: 2, Key: "k", Value: 5},
+		Record{TxID: 3, Key: "j", Value: 7},
+	)
+	if _, err := l.Commit(Local); err != nil {
+		t.Fatal(err)
+	}
+	apply := func(state map[string]int64) {
+		l.Recover(func(r Record) { state[r.Key] = r.Value })
+	}
+	once := map[string]int64{}
+	apply(once)
+	twice := map[string]int64{}
+	apply(twice)
+	apply(twice)
+	if once["k"] != 5 || once["j"] != 7 {
+		t.Fatalf("recovered state wrong: %v", once)
+	}
+	for k, v := range once {
+		if twice[k] != v {
+			t.Fatal("REDO replay must be idempotent")
+		}
+	}
+}
+
+func TestVolatileNeverDurable(t *testing.T) {
+	l := NewLog(DefaultConfig())
+	l.Append(Record{TxID: 1, Key: "a", Value: 1})
+	if _, err := l.Commit(Volatile); err != nil {
+		t.Fatal(err)
+	}
+	if l.DurableLSN() != 0 {
+		t.Error("volatile commit must not advance the durable LSN")
+	}
+	l.Crash()
+	count := 0
+	l.Recover(func(Record) { count++ })
+	if count != 0 {
+		t.Error("volatile records must not survive a crash")
+	}
+}
+
+func TestReplWithoutLinkErrors(t *testing.T) {
+	l := NewLog(Config{FlushLatency: time.Microsecond})
+	l.Append(Record{TxID: 1, Key: "a", Value: 1})
+	if _, err := l.Commit(Repl2); err == nil {
+		t.Fatal("replication without a link must error")
+	}
+}
+
+func TestGroupCommitAmortizes(t *testing.T) {
+	// Larger windows must reduce batches (and thus flush work) at the
+	// price of added latency — the ablation of DESIGN.md.
+	cfg := DefaultConfig()
+	gaps := workload.Poisson(5, 2000, 50000) // 50k txn/s
+	arrivals := make([]time.Duration, len(gaps))
+	var at time.Duration
+	for i, g := range gaps {
+		at += g
+		arrivals[i] = at
+	}
+	none := SimulateGroupCommit(cfg, arrivals, 64, 0, Local)
+	win := SimulateGroupCommit(cfg, arrivals, 64, 256*time.Microsecond, Local)
+	if win.Batches >= none.Batches {
+		t.Errorf("window must reduce batches: %d vs %d", win.Batches, none.Batches)
+	}
+	if win.AvgLatency <= none.AvgLatency {
+		t.Errorf("window must add latency: %v vs %v", win.AvgLatency, none.AvgLatency)
+	}
+	if none.Txns != 2000 || win.Txns != 2000 {
+		t.Fatal("all transactions must be accounted")
+	}
+	// Same bytes reach stable storage either way.
+	if none.TotalWork.BytesWrittenSSD != win.TotalWork.BytesWrittenSSD {
+		t.Errorf("flush bytes differ: %d vs %d",
+			none.TotalWork.BytesWrittenSSD, win.TotalWork.BytesWrittenSSD)
+	}
+}
+
+func TestGroupCommitReplCostsMore(t *testing.T) {
+	cfg := DefaultConfig()
+	arrivals := []time.Duration{0, time.Microsecond, 2 * time.Microsecond}
+	local := SimulateGroupCommit(cfg, arrivals, 128, 100*time.Microsecond, Local)
+	repl := SimulateGroupCommit(cfg, arrivals, 128, 100*time.Microsecond, Repl3)
+	if repl.AvgLatency <= local.AvgLatency {
+		t.Error("replication must add latency")
+	}
+	if repl.TotalWork.BytesSentLink == 0 || local.TotalWork.BytesSentLink != 0 {
+		t.Error("link traffic accounting wrong")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Volatile.String() != "volatile" || Local.String() != "local" ||
+		Repl2.String() != "repl-2" || Repl3.String() != "repl-3" {
+		t.Fatal("level names wrong")
+	}
+}

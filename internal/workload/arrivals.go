@@ -1,0 +1,37 @@
+package workload
+
+import "time"
+
+// Arrivals generates open-loop query arrival processes for the scheduling
+// and elasticity experiments (E5, E11): Poisson arrivals at a fixed rate,
+// and a diurnal trace that sweeps utilization up and down like the
+// day/night load the paper's "elasticity in the large" targets.
+
+// Poisson returns n inter-arrival gaps with the given mean rate
+// (queries/second).
+func Poisson(seed uint64, n int, rate float64) []time.Duration {
+	rng := NewRNG(seed)
+	gaps := make([]time.Duration, n)
+	for i := range gaps {
+		gaps[i] = time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+	}
+	return gaps
+}
+
+// DiurnalPhase is one step of a diurnal load trace.
+type DiurnalPhase struct {
+	Rate     float64       // queries per second during this phase
+	Duration time.Duration // how long the phase lasts
+}
+
+// Diurnal returns a simple day-shaped trace: night trough, morning ramp,
+// midday peak, evening ramp-down.  peak is the midday rate in q/s; the
+// trough is peak/8.  Each phase lasts phaseDur.
+func Diurnal(peak float64, phaseDur time.Duration) []DiurnalPhase {
+	f := []float64{0.125, 0.25, 0.5, 0.875, 1.0, 1.0, 0.75, 0.375}
+	phases := make([]DiurnalPhase, len(f))
+	for i, x := range f {
+		phases[i] = DiurnalPhase{Rate: peak * x, Duration: phaseDur}
+	}
+	return phases
+}

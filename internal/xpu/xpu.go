@@ -1,0 +1,233 @@
+// Package xpu simulates the co-processor support of §III ("comprehensive
+// xPU and co-processor support") and the hybrid operators of §IV.B:
+// "while init() and finish()-phases of operators may run on a CPU side,
+// the actual work()-part of an operator may be scheduled on a GPU
+// platform".
+//
+// The model reproduces the paper's observation that "as of now, only a
+// limited number of operators show significant benefit when running on
+// non-CPU hardware platforms": an operator is characterized by its
+// compute intensity (ALU operations per value).  Simple streaming
+// predicates are PCIe-transfer-bound and never leave the CPU; only
+// compute-dense operators (frequent-itemset mining in the paper's
+// reference [8], complex expressions, probabilistic operators) amortize
+// the transfer and launch overheads.  HybridOp splits an operator into
+// Init/Work/Finish phases and places the Work phase per decision.
+package xpu
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/energy"
+)
+
+// Device models one accelerator.
+type Device struct {
+	Name          string
+	H2D           float64       // host-to-device bytes/s
+	D2H           float64       // device-to-host bytes/s
+	LaunchLatency time.Duration // fixed kernel-launch cost
+	OpsPerSec     float64       // aggregate ALU throughput
+	MemBandwidth  float64       // device memory bytes/s
+	Active        energy.Watts  // power while a kernel runs
+	Idle          energy.Watts  // power while powered but idle
+}
+
+// DefaultGPU returns a 2013-era discrete GPU profile: PCIe-3-ish link
+// (~12 GB/s), ~20 µs launch, ~1 Tops ALU throughput, ~180 GB/s memory.
+func DefaultGPU() *Device {
+	return &Device{
+		Name:          "gpu0",
+		H2D:           12e9,
+		D2H:           12e9,
+		LaunchLatency: 20 * time.Microsecond,
+		OpsPerSec:     1e12,
+		MemBandwidth:  180e9,
+		Active:        180,
+		Idle:          25,
+	}
+}
+
+// DefaultFPGA returns a streaming FPGA profile: slower link, negligible
+// launch latency, moderate throughput at very low power.
+func DefaultFPGA() *Device {
+	return &Device{
+		Name:          "fpga0",
+		H2D:           6e9,
+		D2H:           6e9,
+		LaunchLatency: 2 * time.Microsecond,
+		OpsPerSec:     2e11,
+		MemBandwidth:  40e9,
+		Active:        30,
+		Idle:          5,
+	}
+}
+
+// cpuMemBandwidth is the single-core streaming bandwidth used to bound
+// memory-bound operators on the host.  It exceeds the PCIe link rate —
+// which is exactly why transfer-bound operators never benefit from
+// offloading.
+const cpuMemBandwidth = 16e9
+
+// Profile characterizes the work() phase of an operator.
+type Profile struct {
+	N           int // values streamed
+	ValBytes    int // bytes per value
+	OpsPerValue int // ALU operations per value (compute intensity)
+}
+
+// Bytes returns the input volume.
+func (p Profile) Bytes() float64 { return float64(p.N * p.ValBytes) }
+
+// Cost is a placed phase's time and energy.
+type Cost struct {
+	Time   time.Duration
+	Energy energy.Joules
+}
+
+// CPUWork prices the work phase on one CPU core at P-state ps: the
+// slower of the compute rate and the streaming-bandwidth bound (compute
+// and memory traffic overlap).
+func CPUWork(m *energy.Model, ps energy.PState, p Profile) Cost {
+	instr := uint64(p.N * p.OpsPerValue)
+	computeSec := float64(instr) / (m.Core.IPC * float64(ps.Freq))
+	memSec := p.Bytes() / cpuMemBandwidth
+	sec := computeSec
+	if memSec > sec {
+		sec = memSec
+	}
+	t := time.Duration(sec * float64(time.Second))
+	w := energy.Counters{Instructions: instr, BytesReadDRAM: uint64(p.Bytes())}
+	e := m.DynamicEnergy(w, ps).Total() + energy.StaticEnergy(ps.Active, t)
+	return Cost{Time: t, Energy: e}
+}
+
+// DeviceWork prices the work phase on the device: ship the input down,
+// launch, run at the slower of the device's compute and memory rates,
+// ship a result bitmap back.
+func (d *Device) DeviceWork(p Profile) Cost {
+	kernelSec := float64(p.N*p.OpsPerValue) / d.OpsPerSec
+	if memSec := p.Bytes() / d.MemBandwidth; memSec > kernelSec {
+		kernelSec = memSec
+	}
+	t := d.LaunchLatency +
+		time.Duration(p.Bytes()/d.H2D*float64(time.Second)) +
+		time.Duration(kernelSec*float64(time.Second)) +
+		time.Duration(float64(p.N)/8/d.D2H*float64(time.Second))
+	e := energy.StaticEnergy(d.Active, t)
+	return Cost{Time: t, Energy: e}
+}
+
+// Placement says where the Work phase runs.
+type Placement int
+
+// The placements.
+const (
+	OnCPU Placement = iota
+	OnDevice
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	if p == OnDevice {
+		return "device"
+	}
+	return "cpu"
+}
+
+// Objective selects what Decide minimizes.
+type Objective int
+
+// The offload objectives.
+const (
+	MinTime Objective = iota
+	MinEnergy
+)
+
+// Decide places the Work phase and returns both priced alternatives.
+func Decide(m *energy.Model, d *Device, p Profile, obj Objective) (Placement, Cost, Cost) {
+	cpu := CPUWork(m, m.Core.MaxPState(), p)
+	dev := d.DeviceWork(p)
+	pick := OnCPU
+	switch obj {
+	case MinEnergy:
+		if dev.Energy < cpu.Energy {
+			pick = OnDevice
+		}
+	default:
+		if dev.Time < cpu.Time {
+			pick = OnDevice
+		}
+	}
+	return pick, cpu, dev
+}
+
+// Phase identifies one part of a hybrid operator.
+type Phase int
+
+// The hybrid operator phases of §IV.B.
+const (
+	Init Phase = iota
+	Work
+	Finish
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case Init:
+		return "init"
+	case Work:
+		return "work"
+	case Finish:
+		return "finish"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// HybridOp is an operator split into phases with per-phase placement.
+// Init and Finish always run on the CPU (setup, result integration); the
+// Work placement comes from Decide.
+type HybridOp struct {
+	Name      string
+	Work      Profile
+	InitWork  energy.Counters // CPU-side setup
+	FinishOut energy.Counters // CPU-side result integration
+}
+
+// PhasePlan is the placement and cost of every phase.
+type PhasePlan struct {
+	Placement Placement
+	Init      Cost
+	WorkCost  Cost
+	Finish    Cost
+}
+
+// Total returns end-to-end time and energy (phases are sequential).
+func (p PhasePlan) Total() Cost {
+	return Cost{
+		Time:   p.Init.Time + p.WorkCost.Time + p.Finish.Time,
+		Energy: p.Init.Energy + p.WorkCost.Energy + p.Finish.Energy,
+	}
+}
+
+// Plan places the hybrid operator against the device under the objective.
+func (h *HybridOp) Plan(m *energy.Model, d *Device, obj Objective) PhasePlan {
+	ps := m.Core.MaxPState()
+	costOf := func(w energy.Counters) Cost {
+		t := m.CPUTime(w, ps)
+		return Cost{Time: t, Energy: m.DynamicEnergy(w, ps).Total() + energy.StaticEnergy(ps.Active, t)}
+	}
+	place, cpu, dev := Decide(m, d, h.Work, obj)
+	work := cpu
+	if place == OnDevice {
+		work = dev
+	}
+	return PhasePlan{
+		Placement: place,
+		Init:      costOf(h.InitWork),
+		WorkCost:  work,
+		Finish:    costOf(h.FinishOut),
+	}
+}
