@@ -4,10 +4,12 @@
 // substrate the paper's argument rests on — word-parallel scans,
 // compression codecs, secondary indexes, a dual time/energy optimizer, an
 // energy-aware scheduler, concurrency-control schemes, a QoS REDO log, a
-// storage hierarchy, a network simulator, cluster elasticity, flexible
-// schema, database conversations, and robustness policies.
+// storage hierarchy, a network simulator, distributed query shipping
+// (internal/dist: ship-raw vs ship-compressed vs aggregate pushdown over
+// a simulated cluster), cluster elasticity, flexible schema, database
+// conversations, and robustness policies.
 //
-// See README.md for the tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the per-claim reproduction results.  The root-level
+// See README.md for the tour and build/test instructions, and
+// EXPERIMENTS.md for the per-claim reproduction map.  The root-level
 // bench_test.go regenerates every experiment under `go test -bench`.
 package repro

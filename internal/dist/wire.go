@@ -1,0 +1,116 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/colstore"
+	"repro/internal/compress"
+	"repro/internal/exec"
+)
+
+// shipped adapts an already-materialized relation (the payload a node sent
+// over the link) as a plan source for the coordinator-side operators.
+type shipped struct {
+	From int
+	Rel  *exec.Relation
+}
+
+// Label implements exec.Node.
+func (s *shipped) Label() string { return fmt.Sprintf("Shipped(n%d)", s.From) }
+
+// Kids implements exec.Node.
+func (s *shipped) Kids() []exec.Node { return nil }
+
+// Run implements exec.Node.
+func (s *shipped) Run(*exec.Ctx) (*exec.Relation, error) { return s.Rel, nil }
+
+// wireBytesRaw prices the uncompressed column-wise serialization of a
+// relation under the shared exec.Col.WireBytes convention.
+func wireBytesRaw(r *exec.Relation) uint64 {
+	var wire uint64
+	for i := range r.Cols {
+		wire += r.Cols[i].WireBytes()
+	}
+	return wire
+}
+
+// encode serializes a node's relation for the wire under the strategy and
+// returns the relation the coordinator receives (round-tripped through the
+// codecs for ShipCompressed, so codec bugs cannot hide), the wire bytes,
+// and the CPU instructions spent on both ends of the codec.
+func encode(r *exec.Relation, s Strategy) (*exec.Relation, uint64, uint64, error) {
+	if s == ShipRaw {
+		return r, wireBytesRaw(r), 0, nil
+	}
+	out := &exec.Relation{N: r.N, Cols: make([]exec.Col, len(r.Cols))}
+	var wire, instr uint64
+	for i := range r.Cols {
+		c := &r.Cols[i]
+		switch c.Type {
+		case colstore.Int64:
+			codec := compress.Choose(compress.Analyze(c.I))
+			payload := codec.Compress(c.I)
+			vals, err := codec.Decompress(payload)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("dist: codec %s on %q: %w", codec.Name(), c.Name, err)
+			}
+			wire += uint64(len(payload))
+			instr += uint64(float64(len(c.I)) * codec.CostFactor() * 2)
+			out.Cols[i] = exec.Col{Name: c.Name, Type: c.Type, I: vals}
+		case colstore.Float64:
+			// Doubles ship raw: the integer codecs have nothing to grab
+			// onto in random mantissa bits.
+			wire += c.WireBytes()
+			out.Cols[i] = exec.Col{Name: c.Name, Type: c.Type, F: append([]float64(nil), c.F...)}
+		default:
+			vals, w, n, err := shipStringsCoded(c.S)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("dist: column %q: %w", c.Name, err)
+			}
+			wire += w
+			instr += n
+			out.Cols[i] = exec.Col{Name: c.Name, Type: c.Type, S: vals}
+		}
+	}
+	return out, wire, instr, nil
+}
+
+// shipStringsCoded ships a VARCHAR column dictionary-coded: the distinct
+// values once (length-prefixed) plus the per-row codes through the
+// advisor-chosen integer codec.
+func shipStringsCoded(vs []string) ([]string, uint64, uint64, error) {
+	dict, codes := compress.BuildDictionary(vs)
+	var wire uint64
+	for c := int64(0); c < int64(dict.Size()); c++ {
+		wire += uint64(len(dict.Value(c))) + 2
+	}
+	codec := compress.Choose(compress.Analyze(codes))
+	payload := codec.Compress(codes)
+	back, err := codec.Decompress(payload)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("codec %s: %w", codec.Name(), err)
+	}
+	wire += uint64(len(payload))
+	// Codec work on the codes plus one dictionary probe per value.
+	instr := uint64(float64(len(codes))*codec.CostFactor()*2) + uint64(len(vs))*2
+	out := make([]string, len(back))
+	for i, code := range back {
+		if code < 0 || code >= int64(dict.Size()) {
+			return nil, 0, 0, fmt.Errorf("code %d outside dictionary of %d", code, dict.Size())
+		}
+		out[i] = dict.Value(code)
+	}
+	return out, wire, instr, nil
+}
+
+// ship moves wire bytes over the cluster's ingress link, charging the
+// serialization DRAM traffic (write on the sender, read on the receiver)
+// and any codec instructions alongside the link counters.
+func (c *Cluster) ship(ctx *exec.Ctx, from int, raw, wire, instr uint64) {
+	d, w := c.link.Ship(wire)
+	w.Instructions += instr
+	w.BytesReadDRAM += raw
+	w.BytesWrittenDRAM += raw
+	ctx.SimTime += d
+	ctx.Charge(fmt.Sprintf("ship(n%d raw=%d wire=%d)", from, raw, wire), 0, w)
+}

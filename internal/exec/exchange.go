@@ -70,12 +70,8 @@ func shipRelation(r *Relation, link *netsim.Link, codec compress.Codec) (*Relati
 			payload := codec.Compress(c.I)
 			wire += uint64(len(payload))
 			cpuInstr += uint64(float64(len(c.I)) * codec.CostFactor() * 2) // both ends
-		case colstore.Float64:
-			wire += uint64(len(c.F)) * 8
 		default:
-			for _, s := range c.S {
-				wire += uint64(len(s)) + 2
-			}
+			wire += c.WireBytes()
 		}
 	}
 	rep.WireBytes = wire

@@ -31,6 +31,10 @@ func (c *Ctx) charge(label string, rows int, w energy.Counters) {
 	c.OpReports = append(c.OpReports, OpReport{Label: label, Rows: rows, Work: w})
 }
 
+// Charge books counters into the context on behalf of work performed
+// outside a Node (shipping, partial-aggregate merging in internal/dist).
+func (c *Ctx) Charge(label string, rows int, w energy.Counters) { c.charge(label, rows, w) }
+
 // Node is a physical plan operator.
 type Node interface {
 	// Run executes the subtree and returns its materialized result.

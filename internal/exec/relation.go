@@ -91,6 +91,23 @@ func (r *Relation) Bytes() uint64 {
 	return b
 }
 
+// WireBytes prices the uncompressed column-wise serialization of the
+// column: 8 bytes per numeric value, length-prefixed strings.  Exchange
+// and the distributed shipping strategies (internal/dist) share this one
+// convention so wire accounting stays comparable across experiments.
+func (c *Col) WireBytes() uint64 {
+	switch c.Type {
+	case colstore.Int64, colstore.Float64:
+		return uint64(c.Len()) * 8
+	default:
+		var b uint64
+		for _, s := range c.S {
+			b += uint64(len(s)) + 2
+		}
+		return b
+	}
+}
+
 // gather returns a new relation containing the given rows (in order).
 func (r *Relation) gather(rows []int32) *Relation {
 	out := &Relation{N: len(rows), Cols: make([]Col, len(r.Cols))}
