@@ -6,10 +6,13 @@ package repro
 // the same code paths measurable under `go test -bench=. -benchmem`.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/experiments"
+	"repro/internal/expr"
 	"repro/internal/opt"
 	"repro/internal/sched"
 	"repro/internal/txn"
@@ -222,6 +225,55 @@ func BenchmarkE17Distributed(b *testing.B) {
 		if _, err := experiments.E17Sweep(4, 40_000); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkE18ParallelDOP runs the E18 sweep (time/energy across DOP
+// 1/2/4/8) at reduced scale.
+func BenchmarkE18ParallelDOP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E18Sweep(1<<19, []int{1, 2, 4, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelScanAgg is the morsel-executor acceptance benchmark:
+// a 1M-row grouped aggregation (filtered parallel scan feeding the
+// partial-aggregating HashAgg) at fixed degrees of parallelism.  On
+// multi-core hardware dop-4 should finish in under half of dop-1's
+// wall clock; results and charged counters are byte-identical at every
+// DOP (asserted by TestParallelAggDOPInvariant under -race).
+func BenchmarkParallelScanAgg(b *testing.B) {
+	const rows = 1 << 20
+	eng, err := experiments.OrdersEngine(rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := eng.Catalog().Table("orders")
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := &exec.HashAgg{
+		Child: &exec.ParallelScan{
+			Table:  tab,
+			Select: []string{"region", "amount"},
+			Preds:  []expr.Pred{{Col: "custkey", Op: vec.LT, Val: expr.IntVal(int64(rows/100+10) * 4 / 5)}},
+		},
+		GroupBy: []string{"region"},
+		Aggs:    []expr.AggSpec{{Func: expr.AggSum, Col: "amount", As: "rev"}},
+	}
+	for _, dop := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("dop-%d", dop), func(b *testing.B) {
+			b.SetBytes(rows * 8)
+			for i := 0; i < b.N; i++ {
+				ctx := exec.NewCtx()
+				ctx.Parallelism = dop
+				if _, err := plan.Run(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

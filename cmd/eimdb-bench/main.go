@@ -1,5 +1,5 @@
 // Command eimdb-bench regenerates every table and series recorded in
-// EXPERIMENTS.md.  Each experiment (E1–E17) corresponds to a claim of the
+// EXPERIMENTS.md.  Each experiment (E1–E18) corresponds to a claim of the
 // paper; run them all or one at a time:
 //
 //	eimdb-bench              # run everything
@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1..E17) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1..E18) or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 

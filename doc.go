@@ -1,7 +1,9 @@
 // Package repro is a from-scratch Go reproduction of W. Lehner,
 // "Energy-Efficient In-Memory Database Computing" (DATE 2013): an
 // energy-aware in-memory column-store engine together with every
-// substrate the paper's argument rests on — word-parallel scans,
+// substrate the paper's argument rests on — word-parallel scans, a
+// morsel-driven parallel executor with an energy-aware degree of
+// parallelism chosen per query from the scheduler's P-state cost model,
 // compression codecs, secondary indexes, a dual time/energy optimizer, an
 // energy-aware scheduler, concurrency-control schemes, a QoS REDO log, a
 // storage hierarchy, a network simulator, distributed query shipping
@@ -9,7 +11,9 @@
 // a simulated cluster), cluster elasticity, flexible schema, database
 // conversations, and robustness policies.
 //
-// See README.md for the tour and build/test instructions, and
-// EXPERIMENTS.md for the per-claim reproduction map.  The root-level
-// bench_test.go regenerates every experiment under `go test -bench`.
+// See README.md for the tour and build/test instructions, ARCHITECTURE.md
+// for the subsystem map, the morsel pipeline, and the energy-accounting
+// walkthrough, and EXPERIMENTS.md for the per-claim reproduction map.
+// The root-level bench_test.go regenerates every experiment under
+// `go test -bench`.
 package repro

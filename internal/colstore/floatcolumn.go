@@ -36,37 +36,11 @@ func (c *FloatColumn) Get(i int) float64 { return c.vals[i] }
 // Values exposes the backing slice (read-only by convention).
 func (c *FloatColumn) Values() []float64 { return c.vals }
 
-// Scan evaluates `value op x` into out and prices the work.
+// Scan evaluates `value op x` into out and prices the work.  It is the
+// whole-column case of ScanRows, so serial and morsel-parallel scans
+// share one kernel and one pricing formula.
 func (c *FloatColumn) Scan(op vec.CmpOp, x float64, out *vec.Bitvec) energy.Counters {
-	if out.Len() != len(c.vals) {
-		panic("colstore: scan result length mismatch")
-	}
-	for i, v := range c.vals {
-		var m bool
-		switch op {
-		case vec.LT:
-			m = v < x
-		case vec.LE:
-			m = v <= x
-		case vec.GT:
-			m = v > x
-		case vec.GE:
-			m = v >= x
-		case vec.EQ:
-			m = v == x
-		case vec.NE:
-			m = v != x
-		}
-		if m {
-			out.Set(i)
-		}
-	}
-	return energy.Counters{
-		BytesReadDRAM: uint64(len(c.vals)) * 8,
-		Instructions:  uint64(len(c.vals)) * 3,
-		TuplesIn:      uint64(len(c.vals)),
-		TuplesOut:     uint64(out.Count()),
-	}
+	return c.ScanRows(op, x, 0, len(c.vals), out)
 }
 
 // SumWhere sums the selected rows, the hot path of aggregation queries.

@@ -156,65 +156,11 @@ type ScanStats struct {
 // Scan evaluates `value op c` over the whole column into out (length
 // Len).  Sealed segments use zone-map pruning plus the word-parallel
 // packed kernel; unsealed segments fall back to a branch-free scalar scan.
-// The returned counters price the work for the energy model.
+// The returned counters price the work for the energy model.  Scan is
+// the whole-column case of the shared scanRows kernel (see scanrows.go),
+// so serial and morsel-parallel scans cannot drift apart.
 func (c *IntColumn) Scan(op vec.CmpOp, cval int64, out *vec.Bitvec) (energy.Counters, ScanStats) {
-	if out.Len() != c.n {
-		panic("colstore: scan result length mismatch")
-	}
-	var ctr energy.Counters
-	var st ScanStats
-	st.SegmentsTotal = len(c.segs)
-	offset := 0
-	for _, s := range c.segs {
-		n := s.length()
-		if n == 0 {
-			continue
-		}
-		if s.sealed && zonePrune(op, cval, s.min, s.max) {
-			st.SegmentsSkipped++
-			offset += n
-			continue
-		}
-		if s.sealed && zoneFull(op, cval, s.min, s.max) {
-			// Every row matches: set bits without touching data.
-			for i := 0; i < n; i++ {
-				out.Set(offset + i)
-			}
-			st.SegmentsSkipped++
-			ctr.Instructions += uint64(n / 8)
-			offset += n
-			continue
-		}
-		if s.sealed {
-			st.SegmentsPacked++
-			sub := vec.NewBitvec(n)
-			// Predicate on original values -> predicate on codes via the
-			// frame of reference.  Constants below base clamp to 0 with
-			// op-specific semantics handled by shifting first.
-			code, ok := shiftConst(op, cval, s.base)
-			if ok {
-				s.packed.Scan(op, code, sub)
-			} else if matchesAll(op, cval, s.min, s.max) {
-				sub.SetAll()
-			}
-			sub.ForEach(func(i int) { out.Set(offset + i) })
-			words := uint64(s.packed.WordCount())
-			ctr.BytesReadDRAM += words * 8
-			ctr.Instructions += words * 6 // SWAR ops + compaction
-			ctr.TuplesIn += uint64(n)
-		} else {
-			st.SegmentsRaw++
-			sub := vec.NewBitvec(n)
-			vec.ScanPredicated(s.raw, op, cval, sub)
-			sub.ForEach(func(i int) { out.Set(offset + i) })
-			ctr.BytesReadDRAM += uint64(n) * 8
-			ctr.Instructions += uint64(n) * 3
-			ctr.TuplesIn += uint64(n)
-		}
-		offset += n
-	}
-	ctr.TuplesOut = uint64(out.Count())
-	return ctr, st
+	return c.scanRows(op, cval, 0, c.n, out)
 }
 
 // shiftConst maps a predicate constant from the value domain into the

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/index"
 	"repro/internal/opt"
+	"repro/internal/sched"
 	"repro/internal/sql"
 )
 
@@ -132,6 +134,7 @@ type Result struct {
 	SimTime  time.Duration    // simulated non-CPU time (links, disk)
 	Work     energy.Counters  // work counters from all operators
 	Energy   energy.Breakdown // model-accounted energy
+	DOP      int              // degree of parallelism the query ran at
 	PlanInfo *opt.PlanInfo
 }
 
@@ -160,6 +163,35 @@ func (e *Engine) Explain(text string) (string, error) {
 	return info.Explain, nil
 }
 
+// chooseDOP picks the query's degree of parallelism from the scheduler's
+// P-state cost model: the estimated work is priced at every worker count
+// up to GOMAXPROCS and the point that best serves the engine's objective
+// wins (min-time races all cores to idle; min-energy stops adding cores
+// when their active power outweighs the background power they amortize).
+func (e *Engine) chooseDOP(est energy.Counters) int {
+	maxDOP := runtime.GOMAXPROCS(0)
+	if maxDOP <= 1 {
+		return 1
+	}
+	var memGB float64
+	for _, name := range e.cat.Tables() {
+		if t, err := e.cat.Table(name); err == nil {
+			memGB += float64(t.Bytes()) / 1e9
+		}
+	}
+	points := sched.SweepDOP(e.model, est, e.cm.PState, maxDOP, memGB)
+	var better func(a, b sched.DOPPoint) bool
+	switch e.obj {
+	case opt.MinEnergy:
+		better = func(a, b sched.DOPPoint) bool { return a.Energy < b.Energy }
+	case opt.MinEDP:
+		better = func(a, b sched.DOPPoint) bool { return a.EDP() < b.EDP() }
+	default:
+		better = func(a, b sched.DOPPoint) bool { return a.Time < b.Time }
+	}
+	return sched.ChooseDOP(points, better).DOP
+}
+
 // Run plans and executes a logical query (the shared form produced by
 // the SQL parser and the builder).
 func (e *Engine) Run(q *opt.Query) (*Result, error) {
@@ -168,6 +200,10 @@ func (e *Engine) Run(q *opt.Query) (*Result, error) {
 		return nil, err
 	}
 	ctx := exec.NewCtx()
+	ctx.Parallelism = 1
+	if info.Parallel {
+		ctx.Parallelism = e.chooseDOP(info.Est.Work)
+	}
 	start := time.Now()
 	rel, err := node.Run(ctx)
 	if err != nil {
@@ -186,6 +222,7 @@ func (e *Engine) Run(q *opt.Query) (*Result, error) {
 		SimTime:  ctx.SimTime,
 		Work:     work,
 		Energy:   b,
+		DOP:      ctx.Parallelism,
 		PlanInfo: info,
 	}, nil
 }

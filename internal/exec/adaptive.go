@@ -119,6 +119,6 @@ func (a *AdaptiveFilter) Run(ctx *Ctx) (*Relation, error) {
 		}
 	}
 	w.TuplesOut = uint64(out.Count())
-	ctx.charge(a.Label(), out.Count(), w)
+	ctx.Charge(a.Label(), out.Count(), w)
 	return in.gather(out.Indices()), nil
 }

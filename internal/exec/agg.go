@@ -12,11 +12,22 @@ import (
 
 // HashAgg groups by zero or more columns and computes aggregates.  With no
 // group-by columns it produces a single global row.
+//
+// Inputs of at least ParallelAggRows rows are aggregated morsel-wise by a
+// worker pool of Ctx.DOP() goroutines: every morsel builds its own partial
+// hash table, and the coordinator merges the partials in morsel order.
+// Because the morsel grid and the merge order are fixed by the input size
+// alone, the output bytes and the charged counters are identical at every
+// degree of parallelism.
 type HashAgg struct {
 	Child   Node
 	GroupBy []string
 	Aggs    []expr.AggSpec
 }
+
+// ParallelAggRows is the input size at which HashAgg switches from the
+// serial loop to morsel-wise partial aggregation.
+const ParallelAggRows = 1 << 18
 
 // Label implements Node.
 func (a *HashAgg) Label() string {
@@ -40,42 +51,52 @@ type aggState struct {
 	mins   []float64
 	maxs   []float64
 	seen   []bool
-	sample int32 // any row of the group, for group-key output
+	sample int32 // first row of the group, for group-key output
 }
 
-// Run implements Node.
-func (a *HashAgg) Run(ctx *Ctx) (*Relation, error) {
-	in, err := a.Child.Run(ctx)
-	if err != nil {
-		return nil, err
-	}
-	groupCols := make([]*Col, len(a.GroupBy))
+// aggTable is one (partial) aggregation result: states keyed by the
+// group-key bytes, plus the keys in first-seen order.
+type aggTable struct {
+	groups map[string]*aggState
+	order  []string
+}
+
+func newAggTable() *aggTable {
+	return &aggTable{groups: make(map[string]*aggState), order: make([]string, 0, 16)}
+}
+
+// bindCols resolves the group-by and aggregate input columns against the
+// child relation.
+func (a *HashAgg) bindCols(in *Relation) (groupCols, aggCols []*Col, err error) {
+	groupCols = make([]*Col, len(a.GroupBy))
 	for i, g := range a.GroupBy {
 		c, err := in.Col(g)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		groupCols[i] = c
 	}
-	aggCols := make([]*Col, len(a.Aggs))
+	aggCols = make([]*Col, len(a.Aggs))
 	for i, s := range a.Aggs {
 		if s.Func == expr.AggCount && s.Col == "" {
 			continue // COUNT(*)
 		}
 		c, err := in.Col(s.Col)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if c.Type == colstore.String && s.Func != expr.AggCount {
-			return nil, fmt.Errorf("exec: cannot %s a VARCHAR column", s.Func)
+			return nil, nil, fmt.Errorf("exec: cannot %s a VARCHAR column", s.Func)
 		}
 		aggCols[i] = c
 	}
+	return groupCols, aggCols, nil
+}
 
-	groups := make(map[string]*aggState)
-	order := make([]string, 0, 16) // first-seen order for deterministic output
+// aggRange aggregates rows [lo, hi) of the input into t.
+func (a *HashAgg) aggRange(t *aggTable, groupCols, aggCols []*Col, lo, hi int) {
 	var keyBuf []byte
-	for row := 0; row < in.N; row++ {
+	for row := lo; row < hi; row++ {
 		keyBuf = keyBuf[:0]
 		for _, c := range groupCols {
 			switch c.Type {
@@ -89,7 +110,7 @@ func (a *HashAgg) Run(ctx *Ctx) (*Relation, error) {
 			keyBuf = append(keyBuf, 0)
 		}
 		key := string(keyBuf)
-		st, ok := groups[key]
+		st, ok := t.groups[key]
 		if !ok {
 			st = &aggState{
 				sums:   make([]float64, len(a.Aggs)),
@@ -98,8 +119,8 @@ func (a *HashAgg) Run(ctx *Ctx) (*Relation, error) {
 				seen:   make([]bool, len(a.Aggs)),
 				sample: int32(row),
 			}
-			groups[key] = st
-			order = append(order, key)
+			t.groups[key] = st
+			t.order = append(t.order, key)
 		}
 		st.count++
 		for i := range a.Aggs {
@@ -123,22 +144,53 @@ func (a *HashAgg) Run(ctx *Ctx) (*Relation, error) {
 			st.seen[i] = true
 		}
 	}
+}
 
-	out := &Relation{N: len(order)}
+// mergeInto folds the partial table src into dst.  Partials must be
+// merged in morsel order: then dst's first-seen order and per-group
+// sample rows match what the serial loop over the same rows produces.
+func mergeInto(dst, src *aggTable) {
+	for _, key := range src.order {
+		ss := src.groups[key]
+		ds, ok := dst.groups[key]
+		if !ok {
+			dst.groups[key] = ss
+			dst.order = append(dst.order, key)
+			continue
+		}
+		ds.count += ss.count
+		for i := range ds.sums {
+			ds.sums[i] += ss.sums[i]
+			if ss.seen[i] {
+				if !ds.seen[i] || ss.mins[i] < ds.mins[i] {
+					ds.mins[i] = ss.mins[i]
+				}
+				if !ds.seen[i] || ss.maxs[i] > ds.maxs[i] {
+					ds.maxs[i] = ss.maxs[i]
+				}
+				ds.seen[i] = true
+			}
+		}
+	}
+}
+
+// buildOutput materializes the aggregation result from the final table.
+func (a *HashAgg) buildOutput(t *aggTable, groupCols, aggCols []*Col) *Relation {
+	out := &Relation{N: len(t.order)}
 	// Group-key output columns.
 	for gi, g := range a.GroupBy {
 		src := groupCols[gi]
 		oc := Col{Name: g, Type: src.Type}
 		switch src.Type {
 		case colstore.Int64:
-			oc.I = make([]int64, len(order))
+			oc.I = make([]int64, len(t.order))
 		case colstore.Float64:
-			oc.F = make([]float64, len(order))
+			oc.F = make([]float64, len(t.order))
 		default:
-			oc.S = make([]string, len(order))
+			oc.S = make([]string, len(t.order))
 		}
-		for i, key := range order {
-			row := groups[key].sample
+		for i, key := range t.order {
+			row := t.groups[key].sample
 			switch src.Type {
 			case colstore.Int64:
 				oc.I[i] = src.I[row]
@@ -165,13 +217,13 @@ func (a *HashAgg) Run(ctx *Ctx) (*Relation, error) {
 		oc := Col{Name: name}
 		if intOut {
 			oc.Type = colstore.Int64
-			oc.I = make([]int64, len(order))
+			oc.I = make([]int64, len(t.order))
 		} else {
 			oc.Type = colstore.Float64
-			oc.F = make([]float64, len(order))
+			oc.F = make([]float64, len(t.order))
 		}
-		for i, key := range order {
-			st := groups[key]
+		for i, key := range t.order {
+			st := t.groups[key]
 			var v float64
 			switch s.Func {
 			case expr.AggCount:
@@ -195,14 +247,70 @@ func (a *HashAgg) Run(ctx *Ctx) (*Relation, error) {
 		}
 		out.Cols = append(out.Cols, oc)
 	}
+	return out
+}
 
-	w := energy.Counters{
-		TuplesIn:      uint64(in.N),
-		TuplesOut:     uint64(len(order)),
-		Instructions:  uint64(in.N) * uint64(10+4*len(a.Aggs)),
-		CacheMisses:   uint64(in.N), // one hash probe per row
-		BytesReadDRAM: uint64(in.N) * 8 * uint64(len(a.GroupBy)+len(a.Aggs)),
+// rangeWork prices aggregating rows [lo, hi) into a partial table of
+// groups result groups.  The formula depends only on the row window and
+// its group count, so a fixed morsel grid charges identically at any
+// degree of parallelism.
+func (a *HashAgg) rangeWork(lo, hi, groups int) energy.Counters {
+	n := uint64(hi - lo)
+	return energy.Counters{
+		TuplesIn:      n,
+		TuplesOut:     uint64(groups),
+		Instructions:  n * uint64(10+4*len(a.Aggs)),
+		CacheMisses:   n, // one hash probe per row
+		BytesReadDRAM: n * 8 * uint64(len(a.GroupBy)+len(a.Aggs)),
 	}
-	ctx.charge(a.Label(), len(order), w)
-	return out, nil
+}
+
+// Run implements Node.
+func (a *HashAgg) Run(ctx *Ctx) (*Relation, error) {
+	in, err := a.Child.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	groupCols, aggCols, err := a.bindCols(in)
+	if err != nil {
+		return nil, err
+	}
+	if in.N >= ParallelAggRows {
+		return a.runParallel(ctx, in, groupCols, aggCols)
+	}
+	t := newAggTable()
+	a.aggRange(t, groupCols, aggCols, 0, in.N)
+	ctx.Charge(a.Label(), len(t.order), a.rangeWork(0, in.N, len(t.order)))
+	return a.buildOutput(t, groupCols, aggCols), nil
+}
+
+// runParallel aggregates the input morsel-wise on a worker pool and
+// merges the per-morsel partials in morsel order.
+func (a *HashAgg) runParallel(ctx *Ctx, in *Relation, groupCols, aggCols []*Col) (*Relation, error) {
+	partials, scanWork := runMorsels(ctx, in.N,
+		func(m, lo, hi int) (*aggTable, energy.Counters) {
+			t := newAggTable()
+			a.aggRange(t, groupCols, aggCols, lo, hi)
+			return t, a.rangeWork(lo, hi, len(t.order))
+		})
+
+	// Merge in morsel order (deterministic at any DOP, including the
+	// floating-point addition order of the partial sums).
+	final := newAggTable()
+	var partialGroups uint64
+	for _, p := range partials {
+		partialGroups += uint64(len(p.order))
+		mergeInto(final, p)
+	}
+	ctx.Trace(a.Label()+" [parallel]", len(final.order), scanWork)
+	// The merge runs on the coordinator; its price is a function of the
+	// morsel grid's partial-group count, mirroring the partial-aggregate
+	// merge accounting of internal/dist.
+	ctx.Charge(fmt.Sprintf("agg-merge(%d partials)", len(partials)), len(final.order), energy.Counters{
+		TuplesIn:     partialGroups,
+		TuplesOut:    uint64(len(final.order)),
+		Instructions: partialGroups * 12,
+		CacheMisses:  partialGroups / 4,
+	})
+	return a.buildOutput(final, groupCols, aggCols), nil
 }

@@ -48,7 +48,7 @@ func (e *Exchange) Run(ctx *Ctx) (*Relation, error) {
 	}
 	_, rep, w, d := shipRelation(in, e.Link, e.Codec)
 	ctx.SimTime += d
-	ctx.charge(fmt.Sprintf("%s raw=%d wire=%d", e.Label(), rep.RawBytes, rep.WireBytes), in.N, w)
+	ctx.Charge(fmt.Sprintf("%s raw=%d wire=%d", e.Label(), rep.RawBytes, rep.WireBytes), in.N, w)
 	return in, nil
 }
 

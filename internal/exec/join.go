@@ -79,7 +79,7 @@ func (j *HashJoin) Run(ctx *Ctx) (*Relation, error) {
 	w.Instructions = uint64(left.N+right.N)*12 + uint64(len(lRows))*4
 	w.CacheMisses = uint64(left.N + right.N)
 	w.BytesReadDRAM = uint64(left.N+right.N) * 8
-	ctx.charge(j.Label(), len(lRows), w)
+	ctx.Charge(j.Label(), len(lRows), w)
 
 	lOut := left.gather(lRows)
 	rOut := right.gather(rRows)

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -9,14 +10,33 @@ import (
 )
 
 // Ctx carries the per-query measurement state through operator execution.
+//
+// A Ctx is single-goroutine state with one exception: Meter is internally
+// mutex-guarded, so the workers of a parallel operator (ParallelScan, the
+// parallel HashAgg phase) may call Meter.Add concurrently.  SimTime and
+// OpReports must only be touched by the goroutine driving Node.Run.
 type Ctx struct {
-	Meter     *energy.Meter // work accumulated by every operator
-	SimTime   time.Duration // simulated non-CPU time (link, disk)
-	OpReports []OpReport    // per-operator trace, in completion order
+	Meter   *energy.Meter // work accumulated by every operator
+	SimTime time.Duration // simulated non-CPU time (link, disk)
+	// Parallelism caps the worker count of parallel operators for this
+	// query (the degree of parallelism, DOP).  Zero or negative means
+	// GOMAXPROCS; the energy-aware chooser in internal/sched picks a
+	// value per query from the P-state cost model.
+	Parallelism int
+	OpReports   []OpReport // per-operator trace, in completion order
 }
 
 // NewCtx returns a fresh execution context.
 func NewCtx() *Ctx { return &Ctx{Meter: &energy.Meter{}} }
+
+// DOP returns the effective degree of parallelism for this query:
+// Parallelism when set, otherwise GOMAXPROCS.
+func (c *Ctx) DOP() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // OpReport records what one operator did.
 type OpReport struct {
@@ -25,15 +45,31 @@ type OpReport struct {
 	Work  energy.Counters
 }
 
-// charge books counters for an operator into the context.
-func (c *Ctx) charge(label string, rows int, w energy.Counters) {
+// Charge books counters for one operator (or one unit of out-of-operator
+// work, such as shipping or partial-aggregate merging in internal/dist)
+// into the context: the counters are added to Meter and appended to the
+// OpReports trace.
+//
+// Convention: rows is the operator's OUTPUT row count — the rows it
+// produced, not the rows it consumed (those are visible as w.TuplesIn).
+//
+// Charge must be called from the goroutine driving Node.Run, and its
+// granularity must stay coarse: once per operator, or once per morsel
+// batch in parallel operators — never per row.  Workers of a parallel
+// operator do not call Charge; they merge their worker-local Counters
+// into Meter once per morsel batch (Meter is mutex-guarded) and the
+// coordinator records the aggregate trace entry with Trace.
+func (c *Ctx) Charge(label string, rows int, w energy.Counters) {
 	c.Meter.Add(w)
 	c.OpReports = append(c.OpReports, OpReport{Label: label, Rows: rows, Work: w})
 }
 
-// Charge books counters into the context on behalf of work performed
-// outside a Node (shipping, partial-aggregate merging in internal/dist).
-func (c *Ctx) Charge(label string, rows int, w energy.Counters) { c.charge(label, rows, w) }
+// Trace appends an OpReport without touching Meter, for parallel
+// operators whose workers already merged their counters into Meter batch
+// by batch.  Calling Charge instead would double-count the work.
+func (c *Ctx) Trace(label string, rows int, w energy.Counters) {
+	c.OpReports = append(c.OpReports, OpReport{Label: label, Rows: rows, Work: w})
+}
 
 // Node is a physical plan operator.
 type Node interface {

@@ -64,7 +64,7 @@ func (f *Filter) Run(ctx *Ctx) (*Relation, error) {
 	w.TuplesOut = uint64(len(rows))
 	w.Instructions = uint64(in.N) * uint64(3*len(f.Preds)+2)
 	w.BytesReadDRAM = uint64(in.N) * 8 * uint64(len(f.Preds))
-	ctx.charge(f.Label(), len(rows), w)
+	ctx.Charge(f.Label(), len(rows), w)
 	return in.gather(rows), nil
 }
 
@@ -94,7 +94,7 @@ func (p *Project) Run(ctx *Ctx) (*Relation, error) {
 		}
 		out.Cols = append(out.Cols, *c)
 	}
-	ctx.charge(p.Label(), in.N, energy.Counters{Instructions: uint64(len(p.Names)) * 4})
+	ctx.Charge(p.Label(), in.N, energy.Counters{Instructions: uint64(len(p.Names)) * 4})
 	return out, nil
 }
 
@@ -167,7 +167,7 @@ func (s *Sort) Run(ctx *Ctx) (*Relation, error) {
 		Instructions: uint64(in.N) * uint64(logN) * 8,
 		CacheMisses:  uint64(in.N) * uint64(logN) / 8,
 	}
-	ctx.charge(s.Label(), in.N, w)
+	ctx.Charge(s.Label(), in.N, w)
 	return in.gather(perm), nil
 }
 
@@ -216,6 +216,6 @@ func (l *Limit) Run(ctx *Ctx) (*Relation, error) {
 	for i := range rows {
 		rows[i] = int32(i)
 	}
-	ctx.charge(l.Label(), l.N, energy.Counters{TuplesIn: uint64(in.N), TuplesOut: uint64(l.N)})
+	ctx.Charge(l.Label(), l.N, energy.Counters{TuplesIn: uint64(in.N), TuplesOut: uint64(l.N)})
 	return in.gather(rows), nil
 }

@@ -1,0 +1,197 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/vec"
+)
+
+// runPlan executes a plan at a fixed DOP and returns the result plus the
+// total metered counters.
+func runPlan(t *testing.T, n Node, dop int) (*Relation, *Ctx) {
+	t.Helper()
+	ctx := NewCtx()
+	ctx.Parallelism = dop
+	rel, err := n.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel, ctx
+}
+
+// TestParallelScanMatchesSerial: the morsel scan must reproduce the
+// serial scan's rows, order, and column bytes exactly, across predicate
+// types (packed int, float, dictionary string) and projections.
+func TestParallelScanMatchesSerial(t *testing.T) {
+	tab := ordersTable(t, 200_000)
+	cases := []struct {
+		name  string
+		sel   []string
+		preds []expr.Pred
+	}{
+		{"no-preds-all-cols", nil, nil},
+		{"int-lt", []string{"id", "amount"}, []expr.Pred{{Col: "custkey", Op: vec.LT, Val: expr.IntVal(40)}}},
+		{"int-eq", []string{"id"}, []expr.Pred{{Col: "custkey", Op: vec.EQ, Val: expr.IntVal(7)}}},
+		{"float-gt", []string{"id", "region"}, []expr.Pred{{Col: "amount", Op: vec.GT, Val: expr.FloatVal(900)}}},
+		{"string-eq", []string{"id", "amount"}, []expr.Pred{{Col: "region", Op: vec.EQ, Val: expr.StrVal("ASIA")}}},
+		{"string-ne-unknown", []string{"id"}, []expr.Pred{{Col: "region", Op: vec.NE, Val: expr.StrVal("NOWHERE")}}},
+		{"string-lt", []string{"id"}, []expr.Pred{{Col: "region", Op: vec.LT, Val: expr.StrVal("EUROPE")}}},
+		{"string-le", []string{"id"}, []expr.Pred{{Col: "region", Op: vec.LE, Val: expr.StrVal("ASIA")}}},
+		{"string-gt", []string{"id"}, []expr.Pred{{Col: "region", Op: vec.GT, Val: expr.StrVal("ASIA")}}},
+		{"conjunction", []string{"id", "region", "amount"}, []expr.Pred{
+			{Col: "custkey", Op: vec.LT, Val: expr.IntVal(60)},
+			{Col: "amount", Op: vec.GE, Val: expr.FloatVal(10)},
+			{Col: "region", Op: vec.NE, Val: expr.StrVal("AFRICA")},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := &Scan{Table: tab, Select: tc.sel, Preds: tc.preds}
+			want, err := serial.Run(NewCtx())
+			if err != nil {
+				t.Fatal(err)
+			}
+			par := &ParallelScan{Table: tab, Select: tc.sel, Preds: tc.preds}
+			for _, dop := range []int{1, 3, 8} {
+				got, _ := runPlan(t, par, dop)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("DOP %d: parallel scan diverged from serial (%d vs %d rows)", dop, got.N, want.N)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelScanErrors: mistyped predicates and unknown columns must
+// fail before any worker starts.
+func TestParallelScanErrors(t *testing.T) {
+	tab := ordersTable(t, 1000)
+	if _, err := (&ParallelScan{Table: tab, Preds: []expr.Pred{{Col: "custkey", Op: vec.EQ, Val: expr.StrVal("x")}}}).Run(NewCtx()); err == nil {
+		t.Error("string literal against BIGINT column must error")
+	}
+	if _, err := (&ParallelScan{Table: tab, Preds: []expr.Pred{{Col: "nope", Op: vec.EQ, Val: expr.IntVal(1)}}}).Run(NewCtx()); err == nil {
+		t.Error("unknown predicate column must error")
+	}
+	if _, err := (&ParallelScan{Table: tab, Select: []string{"nope"}}).Run(NewCtx()); err == nil {
+		t.Error("unknown projection column must error")
+	}
+}
+
+// TestParallelAggDOPInvariant is the acceptance test for the morsel
+// executor, exercised under -race by the CI race job: the same grouped
+// aggregation over a parallel scan must produce byte-identical relations
+// and identical total energy counters at DOP 1 and DOP 8.
+func TestParallelAggDOPInvariant(t *testing.T) {
+	// 400k rows: the 80%-selective predicate still leaves the
+	// aggregation input above ParallelAggRows, so both the scan and the
+	// aggregation run the morsel path.
+	tab := ordersTable(t, 400_000)
+	plan := func() *HashAgg {
+		return &HashAgg{
+			Child: &ParallelScan{
+				Table:  tab,
+				Select: []string{"custkey", "region", "amount"},
+				Preds:  []expr.Pred{{Col: "custkey", Op: vec.LT, Val: expr.IntVal(80)}},
+			},
+			GroupBy: []string{"region"},
+			Aggs: []expr.AggSpec{
+				{Func: expr.AggSum, Col: "amount", As: "rev"},
+				{Func: expr.AggCount, As: "n"},
+				{Func: expr.AggMin, Col: "amount", As: "lo"},
+				{Func: expr.AggMax, Col: "amount", As: "hi"},
+				{Func: expr.AggAvg, Col: "amount", As: "avg"},
+			},
+		}
+	}
+	rel1, ctx1 := runPlan(t, plan(), 1)
+	rel8, ctx8 := runPlan(t, plan(), 8)
+	if rel1.N == 0 {
+		t.Fatal("aggregation produced no groups")
+	}
+	if !reflect.DeepEqual(rel1, rel8) {
+		t.Fatalf("relations differ between DOP 1 and DOP 8:\nDOP1: %+v\nDOP8: %+v", rel1, rel8)
+	}
+	w1, w8 := ctx1.Meter.Snapshot(), ctx8.Meter.Snapshot()
+	if w1 != w8 {
+		t.Fatalf("total counters differ between DOP 1 and DOP 8:\nDOP1: %+v\nDOP8: %+v", w1, w8)
+	}
+	if w1.IsZero() {
+		t.Fatal("no work charged")
+	}
+}
+
+// TestParallelAggMatchesSerialGroups: group keys, counts, and extrema of
+// the morsel-parallel aggregation must equal the serial operator's (sums
+// may differ in the last ulp from the different addition association, so
+// they are compared with a relative tolerance).
+func TestParallelAggMatchesSerialGroups(t *testing.T) {
+	tab := ordersTable(t, 300_000)
+	mk := func(scan Node) *HashAgg {
+		return &HashAgg{
+			Child:   scan,
+			GroupBy: []string{"region"},
+			Aggs: []expr.AggSpec{
+				{Func: expr.AggSum, Col: "amount", As: "rev"},
+				{Func: expr.AggCount, As: "n"},
+				{Func: expr.AggMin, Col: "amount", As: "lo"},
+				{Func: expr.AggMax, Col: "amount", As: "hi"},
+			},
+		}
+	}
+	// Serial reference: a 300k-row input would engage the parallel path
+	// through Run, so drive the serial aggregation loop directly over
+	// the serial scan's rows.
+	scan := &Scan{Table: tab, Select: []string{"region", "amount"}}
+	in, err := scan.Run(NewCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialAgg := mk(&relSource{rel: in})
+	want := map[string][]float64{}
+	{
+		groupCols, aggCols, err := serialAgg.bindCols(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl := newAggTable()
+		serialAgg.aggRange(tbl, groupCols, aggCols, 0, in.N)
+		for _, key := range tbl.order {
+			st := tbl.groups[key]
+			want[key] = []float64{st.sums[0], float64(st.count), st.mins[2], st.maxs[3]}
+		}
+	}
+	got, _ := runPlan(t, mk(&ParallelScan{Table: tab, Select: []string{"region", "amount"}}), 4)
+	if got.N != len(want) {
+		t.Fatalf("group count: got %d want %d", got.N, len(want))
+	}
+	regions, _ := got.Col("region")
+	revs, _ := got.Col("rev")
+	counts, _ := got.Col("n")
+	los, _ := got.Col("lo")
+	his, _ := got.Col("hi")
+	for i := 0; i < got.N; i++ {
+		key := regions.S[i] + "\x00"
+		ref, ok := want[key]
+		if !ok {
+			t.Fatalf("unexpected group %q", regions.S[i])
+		}
+		if rel := abs(revs.F[i]-ref[0]) / (abs(ref[0]) + 1); rel > 1e-9 {
+			t.Errorf("group %q sum: got %g want %g", regions.S[i], revs.F[i], ref[0])
+		}
+		if float64(counts.I[i]) != ref[1] {
+			t.Errorf("group %q count: got %d want %g", regions.S[i], counts.I[i], ref[1])
+		}
+		if los.F[i] != ref[2] || his.F[i] != ref[3] {
+			t.Errorf("group %q extrema: got (%g,%g) want (%g,%g)", regions.S[i], los.F[i], his.F[i], ref[2], ref[3])
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -4,6 +4,28 @@
 // MonetDB-style materialized model that dominated the paper's era.  Every
 // operator records the work it performs in energy counters so whole plans
 // can be priced in joules as well as seconds.
+//
+// # Concurrency contract
+//
+// A plan is driven by exactly one goroutine: Node.Run is never called
+// concurrently on the same tree or with the same Ctx, and every serial
+// operator (Scan, Filter, Project, HashJoin, Sort, Limit, Exchange,
+// AdaptiveFilter) runs entirely on that goroutine.  The morsel-driven
+// operators — ParallelScan, and HashAgg above ParallelAggRows input rows
+// — fan work out to Ctx.DOP() internal workers but present the same
+// single-goroutine interface: they return only after all workers have
+// joined, and their results and charged counters are byte-identical at
+// every degree of parallelism (see morsel.go).
+//
+// The only Ctx member those workers may touch is Meter, which is
+// mutex-guarded.  Charging must stay coarse: serial operators call
+// Ctx.Charge once per operator; parallel workers merge worker-local
+// energy.Counters into Ctx.Meter once per morsel batch — never per row —
+// and the coordinator records the operator's trace entry with Ctx.Trace
+// after the join.  SimTime and OpReports are single-goroutine state.
+//
+// Relations and colstore tables are safe to read from many workers;
+// nothing in this package mutates a table during execution.
 package exec
 
 import (

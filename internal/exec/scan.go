@@ -84,11 +84,11 @@ func (s *Scan) scanRows(ctx *Ctx, n int) ([]int32, error) {
 		if err != nil {
 			return nil, err
 		}
-		ctx.charge("scan:"+p.String(), pb.Count(), ctr)
+		ctx.Charge("scan:"+p.String(), pb.Count(), ctr)
 		sel.And(pb)
 	}
 	if len(s.Preds) == 0 {
-		ctx.charge("scan:all", n, energy.Counters{TuplesIn: uint64(n)})
+		ctx.Charge("scan:all", n, energy.Counters{TuplesIn: uint64(n)})
 	}
 	return sel.Indices(), nil
 }
@@ -99,58 +99,20 @@ func (s *Scan) scanPred(p expr.Pred, out *vec.Bitvec) (energy.Counters, error) {
 	if err != nil {
 		return energy.Counters{}, err
 	}
+	if err := checkPredType(col, p); err != nil {
+		return energy.Counters{}, err
+	}
 	switch c := col.(type) {
 	case *colstore.IntColumn:
-		if p.Val.Kind != colstore.Int64 {
-			return energy.Counters{}, fmt.Errorf("exec: predicate %s: column is BIGINT", p)
-		}
 		ctr, _ := c.Scan(p.Op, p.Val.I, out)
 		return ctr, nil
 	case *colstore.FloatColumn:
-		if p.Val.Kind != colstore.Float64 {
-			return energy.Counters{}, fmt.Errorf("exec: predicate %s: column is DOUBLE", p)
-		}
 		return c.Scan(p.Op, p.Val.F, out), nil
-	case *colstore.StringColumn:
-		if p.Val.Kind != colstore.String {
-			return energy.Counters{}, fmt.Errorf("exec: predicate %s: column is VARCHAR", p)
-		}
-		return s.scanStringPred(c, p, out)
-	}
-	return energy.Counters{}, fmt.Errorf("exec: unsupported column type for %q", p.Col)
-}
-
-// scanStringPred maps string comparisons onto the dictionary-coded
-// column.
-func (s *Scan) scanStringPred(c *colstore.StringColumn, p expr.Pred, out *vec.Bitvec) (energy.Counters, error) {
-	switch p.Op {
-	case vec.EQ:
-		ctr, _ := c.ScanEq(p.Val.S, out)
-		return ctr, nil
-	case vec.NE:
-		ctr, _ := c.ScanEq(p.Val.S, out)
-		out.Not()
-		return ctr, nil
-	case vec.LT:
-		ctr, _ := c.ScanRange("", p.Val.S, out)
-		return ctr, nil
-	case vec.GE:
-		ctr, _ := c.ScanRange("", p.Val.S, out)
-		out.Not()
-		return ctr, nil
 	default:
-		// LE / GT via per-row comparison fallback.
-		var ctr energy.Counters
-		for i := 0; i < c.Len(); i++ {
-			v := c.Get(i)
-			if (p.Op == vec.LE && v <= p.Val.S) || (p.Op == vec.GT && v > p.Val.S) {
-				out.Set(i)
-			}
-		}
-		ctr.TuplesIn = uint64(c.Len())
-		ctr.Instructions = uint64(c.Len()) * 12
-		ctr.CacheMisses = uint64(c.Len()) / 4
-		return ctr, nil
+		// Strings go through the same dictionary-code kernel the morsel
+		// scan uses, so serial and parallel charge identical counters.
+		c2 := col.(*colstore.StringColumn)
+		return c2.ScanRows(p.Op, p.Val.S, 0, c2.Len(), out), nil
 	}
 }
 
@@ -212,7 +174,7 @@ func (s *Scan) indexRows(ctx *Ctx, n int) ([]int32, error) {
 	}
 	ctr.TuplesIn = uint64(len(cand))
 	ctr.TuplesOut = uint64(len(rows))
-	ctx.charge(fmt.Sprintf("index:%s", keyPred), len(rows), ctr)
+	ctx.Charge(fmt.Sprintf("index:%s", keyPred), len(rows), ctr)
 	return rows, nil
 }
 
@@ -269,37 +231,14 @@ func (s *Scan) materialize(ctx *Ctx, rows []int32) (*Relation, error) {
 		}
 	}
 	out := &Relation{N: len(rows), Cols: make([]Col, 0, len(names))}
-	var w energy.Counters
 	for _, name := range names {
 		col, err := s.Table.Column(name)
 		if err != nil {
 			return nil, err
 		}
-		oc := Col{Name: name, Type: col.Type()}
-		switch c := col.(type) {
-		case *colstore.IntColumn:
-			oc.I = make([]int64, len(rows))
-			for i, r := range rows {
-				oc.I[i] = c.Get(int(r))
-			}
-		case *colstore.FloatColumn:
-			oc.F = make([]float64, len(rows))
-			for i, r := range rows {
-				oc.F[i] = c.Get(int(r))
-			}
-		case *colstore.StringColumn:
-			oc.S = make([]string, len(rows))
-			for i, r := range rows {
-				oc.S[i] = c.Get(int(r))
-			}
-		}
-		out.Cols = append(out.Cols, oc)
+		out.Cols = append(out.Cols, gatherCol(col, name, rows, 0))
 	}
-	// Gathers are random access: roughly one cache-line touch per value.
-	w.CacheMisses = uint64(len(rows)*len(names)) / 4
-	w.Instructions = uint64(len(rows)*len(names)) * 2
-	w.TuplesOut = uint64(len(rows))
-	ctx.charge("materialize", len(rows), w)
+	ctx.Charge("materialize", len(rows), gatherWork(len(rows), len(names)))
 	return out, nil
 }
 

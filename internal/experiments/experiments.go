@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one runnable
-// module per experiment in EXPERIMENTS.md (E1–E17), each printing the
+// module per experiment in EXPERIMENTS.md (E1–E18), each printing the
 // table or series the paper's claim corresponds to.  cmd/eimdb-bench is
 // the CLI front end; the root bench_test.go exercises the same modules
 // under testing.B.
@@ -32,7 +32,7 @@ func register(e Experiment) { registry = append(registry, e) }
 func All() []Experiment {
 	out := append([]Experiment(nil), registry...)
 	sort.Slice(out, func(i, j int) bool {
-		// E1..E17: numeric order on the suffix.
+		// E1..E18: numeric order on the suffix.
 		var a, b int
 		fmt.Sscanf(out[i].ID, "E%d", &a)
 		fmt.Sscanf(out[j].ID, "E%d", &b)
@@ -55,6 +55,11 @@ func ByID(id string) (Experiment, error) {
 func newTable(w io.Writer) *tabwriter.Writer {
 	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 }
+
+// OrdersEngine builds an engine with the standard orders table of n rows
+// (exported for the root-level benchmarks, which drive the morsel
+// executor against the same data E18 sweeps).
+func OrdersEngine(n int) (*core.Engine, error) { return ordersEngine(n) }
 
 // ordersEngine builds an engine with the standard orders table of n rows
 // (shared by several experiments).

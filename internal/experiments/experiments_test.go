@@ -11,8 +11,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("expected 17 experiments (E1-E14 + extensions E15-E17), have %d", len(all))
+	if len(all) != 18 {
+		t.Fatalf("expected 18 experiments (E1-E14 + extensions E15-E18), have %d", len(all))
 	}
 	for i, e := range all {
 		if want := fmt.Sprintf("E%d", i+1); e.ID != want {
@@ -308,6 +308,50 @@ func TestE14Equivalence(t *testing.T) {
 	}
 	if !res.PlansEqual || !res.RowsEqual {
 		t.Fatalf("hybrid language fronts diverge: %+v", res)
+	}
+}
+
+func TestE18Shape(t *testing.T) {
+	// 300k rows clears both the planner's parallel-scan threshold and
+	// HashAgg's partial-aggregation threshold, so the sweep exercises the
+	// real morsel path.  E18Sweep itself fails if any DOP's relation or
+	// counters diverge from DOP 1.
+	rows, err := E18Sweep(300_000, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 4 DOP points, have %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Groups == 0 {
+			t.Errorf("DOP %d produced no groups", r.DOP)
+		}
+		if r.Work.IsZero() {
+			t.Errorf("DOP %d charged no work", r.DOP)
+		}
+	}
+	// The model must predict strictly falling time with rising DOP and a
+	// higher energy at maximal fan-out than at the energy-optimal point.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ModelTime >= rows[i-1].ModelTime {
+			t.Errorf("model time must fall with DOP: dop=%d %v vs dop=%d %v",
+				rows[i].DOP, rows[i].ModelTime, rows[i-1].DOP, rows[i-1].ModelTime)
+		}
+	}
+	// Race-to-idle vs active-core power: the energy optimum must be
+	// interior — cheaper than serial (the idle machine burns while one
+	// core grinds) and cheaper than maximal fan-out (active power
+	// dominates once the background is amortized).
+	best := 0
+	for i, r := range rows {
+		if r.ModelEnergy < rows[best].ModelEnergy {
+			best = i
+		}
+	}
+	if best == 0 || best == len(rows)-1 {
+		t.Errorf("energy optimum must be interior, got DOP %d of %v", rows[best].DOP,
+			[]int{rows[0].DOP, rows[len(rows)-1].DOP})
 	}
 }
 

@@ -2,6 +2,7 @@ package opt
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -357,5 +358,66 @@ func TestEstimateMatchesMeasuredShape(t *testing.T) {
 func TestObjectiveStrings(t *testing.T) {
 	if MinTime.String() != "min-time" || MinEnergy.String() != "min-energy" || MinEDP.String() != "min-edp" {
 		t.Fatal("objective names wrong")
+	}
+}
+
+func TestPlannerEmitsParallelScan(t *testing.T) {
+	cat, tab := testCatalog(t, ParallelScanRows+1000)
+	cm := NewCostModel(energy.DefaultModel())
+	q := &Query{
+		From:    "orders",
+		Preds:   []expr.Pred{{Col: "custkey", Op: vec.LT, Val: expr.IntVal(500)}},
+		Select:  []SelectItem{{Col: "region"}, {Agg: expr.AggSum, Col: "amount"}},
+		GroupBy: []string{"region"},
+	}
+	node, info, err := cat.Plan(q, cm, MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Parallel {
+		t.Error("plan over a 257k-row table must be flagged parallel")
+	}
+	if !strings.Contains(info.Explain, "ParallelScan") {
+		t.Errorf("explain should show the parallel scan:\n%s", info.Explain)
+	}
+	// The parallel plan must compute the same rows as the serial
+	// operators over the same logical query.
+	got, err := node.Run(exec.NewCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := &exec.HashAgg{
+		Child: &exec.Scan{Table: tab, Select: []string{"amount", "custkey", "region"},
+			Preds: []expr.Pred{{Col: "custkey", Op: vec.LT, Val: expr.IntVal(500)}}},
+		GroupBy: []string{"region"},
+		Aggs:    []expr.AggSpec{{Func: expr.AggSum, Col: "amount", As: "sum_amount"}},
+	}
+	want, err := serial.Run(exec.NewCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != want.N {
+		t.Fatalf("group count: got %d want %d", got.N, want.N)
+	}
+	gr, _ := got.Col("region")
+	wr, _ := want.Col("region")
+	gs, _ := got.Col("sum_amount")
+	ws, _ := want.Col("sum_amount")
+	for i := 0; i < got.N; i++ {
+		if gr.S[i] != wr.S[i] {
+			t.Errorf("group %d: got %q want %q", i, gr.S[i], wr.S[i])
+		}
+		if d := math.Abs(gs.F[i]-ws.F[i]) / (math.Abs(ws.F[i]) + 1); d > 1e-9 {
+			t.Errorf("group %q sum: got %g want %g", wr.S[i], gs.F[i], ws.F[i])
+		}
+	}
+	// Below the threshold the planner must keep the serial scan.
+	smallCat, _ := testCatalog(t, 10_000)
+	_, smallInfo, err := smallCat.Plan(q, cm, MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smallInfo.Parallel || strings.Contains(smallInfo.Explain, "ParallelScan") {
+		t.Errorf("small table must plan a serial scan:\n%s", smallInfo.Explain)
 	}
 }

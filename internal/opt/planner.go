@@ -51,11 +51,17 @@ type Query struct {
 	LimitN  int // 0 = no limit
 }
 
+// ParallelScanRows is the table cardinality at which the planner swaps a
+// serial full scan for the morsel-driven exec.ParallelScan.  Below it the
+// worker-pool launch and merge overheads outweigh the morsel win.
+const ParallelScanRows = 1 << 18
+
 // PlanInfo reports what the planner decided.
 type PlanInfo struct {
-	Explain string
-	Access  map[string]AccessChoice // per-table access decision
-	Est     Cost                    // total estimated cost
+	Explain  string
+	Access   map[string]AccessChoice // per-table access decision
+	Est      Cost                    // total estimated cost
+	Parallel bool                    // plan contains a morsel-parallel operator
 }
 
 // Plan lowers the logical query onto the physical operator tree, choosing
@@ -145,6 +151,13 @@ func (c *Catalog) Plan(q *Query, cm *CostModel, obj Objective) (exec.Node, *Plan
 		tab, err := c.Table(table)
 		if err != nil {
 			return nil, err
+		}
+		// Morsel-driven parallel scan once the cardinality clears the
+		// threshold and the access path is a full scan (index access
+		// stays serial: its random point reads don't morselize).
+		if choice.Spec.Kind == exec.FullScan && tab.Rows() >= ParallelScanRows {
+			info.Parallel = true
+			return &exec.ParallelScan{Table: tab, Select: sel, Preds: preds}, nil
 		}
 		return &exec.Scan{Table: tab, Select: sel, Preds: preds, Access: choice.Spec}, nil
 	}

@@ -1,0 +1,89 @@
+package sched
+
+import (
+	"time"
+
+	"repro/internal/energy"
+)
+
+// Energy-aware degree-of-parallelism selection ("elasticity in the
+// small", §IV, meeting morsel-driven execution): the same P-state cost
+// model that prices the scheduler's DVFS decisions prices a single
+// query's candidate worker counts.  More active cores finish the query
+// sooner — racing the platform's background power to idle — but burn
+// more active-core power and amortize less of the parallelization
+// overhead, so the energy-optimal DOP is finite and workload-dependent
+// (Harizopoulos et al.: the energy-optimal plan is the time-optimal one
+// *at a chosen parallelism*).
+
+// SerialFraction is the Amdahl fraction of a parallel query that stays on
+// the coordinator: planning, the partial-aggregate merge, and result
+// concatenation.  Calibrated against the E18 measurements.
+const SerialFraction = 0.05
+
+// DOPPoint prices one query's work at a candidate degree of parallelism.
+type DOPPoint struct {
+	DOP    int
+	Time   time.Duration
+	Energy energy.Joules
+}
+
+// EDP returns the energy-delay product of the point.
+func (p DOPPoint) EDP() float64 { return energy.EDP(p.Energy, p.Time) }
+
+// PriceDOP prices running the counted work with d of the machine's cores
+// cores at P-state p.  Time follows Amdahl's law over the model's CPU
+// time.  Energy is the DOP-invariant dynamic energy plus, integrated over
+// the shortened wall clock: d active cores, the cores-d unused cores
+// idling in shallow C1 (they must stay wakeable while the query runs —
+// parking between queries is the scheduler's policy decision), and the
+// platform background (DRAM for memGB resident gigabytes, SSD, link).
+// The unused-core and platform terms are what racing to idle amortizes:
+// they make the energy-optimal DOP larger than one, while the active-core
+// term keeps it below maximal fan-out.
+func PriceDOP(m *energy.Model, w energy.Counters, p energy.PState, d, cores int, memGB float64) DOPPoint {
+	if d < 1 {
+		d = 1
+	}
+	if cores < d {
+		cores = d
+	}
+	cpu := m.CPUTime(w, p)
+	t := time.Duration(float64(cpu) * (SerialFraction + (1-SerialFraction)/float64(d)))
+	idle := energy.Watts(float64(m.Core.Idle.Power) * float64(cores-d))
+	platform := energy.Watts(float64(m.DRAMStaticPerGB)*memGB) + m.SSDIdle + m.LinkIdle
+	e := m.DynamicEnergy(w, p).Total() +
+		energy.StaticEnergy(p.Active, t)*energy.Joules(d) +
+		energy.StaticEnergy(idle+platform, t)
+	return DOPPoint{DOP: d, Time: t, Energy: e}
+}
+
+// SweepDOP prices the work at every DOP in [1, maxDOP] on a maxDOP-core
+// machine.
+func SweepDOP(m *energy.Model, w energy.Counters, p energy.PState, maxDOP int, memGB float64) []DOPPoint {
+	if maxDOP < 1 {
+		maxDOP = 1
+	}
+	points := make([]DOPPoint, 0, maxDOP)
+	for d := 1; d <= maxDOP; d++ {
+		points = append(points, PriceDOP(m, w, p, d, maxDOP, memGB))
+	}
+	return points
+}
+
+// ChooseDOP picks the worker count for a query from the swept candidates
+// under a figure of merit: better(a, b) reports whether a beats b (the
+// optimizer objectives map onto min-time, min-energy, and min-EDP
+// comparators).  Ties keep the lower DOP — fewer cores to wake.
+func ChooseDOP(points []DOPPoint, better func(a, b DOPPoint) bool) DOPPoint {
+	if len(points) == 0 {
+		return DOPPoint{DOP: 1}
+	}
+	best := points[0]
+	for _, cand := range points[1:] {
+		if better(cand, best) {
+			best = cand
+		}
+	}
+	return best
+}

@@ -109,3 +109,40 @@ func TestPolicyString(t *testing.T) {
 		t.Fatal("policy names wrong")
 	}
 }
+
+func TestDOPModelShape(t *testing.T) {
+	m := energy.DefaultModel()
+	w := energy.Counters{Instructions: 20_000_000, CacheMisses: 1_000_000, BytesReadDRAM: 1 << 24}
+	p := m.Core.MaxPState()
+	points := SweepDOP(m, w, p, 8, 0.05)
+	if len(points) != 8 {
+		t.Fatalf("want 8 points, have %d", len(points))
+	}
+	// Time must fall strictly with every added worker (Amdahl, serial
+	// fraction < 1).
+	for i := 1; i < len(points); i++ {
+		if points[i].Time >= points[i-1].Time {
+			t.Errorf("time must fall with DOP: %v at %d vs %v at %d",
+				points[i].Time, points[i].DOP, points[i-1].Time, points[i-1].DOP)
+		}
+	}
+	// The energy optimum must be interior: racing the idle cores and the
+	// platform floor to idle beats serial, active-core power beats
+	// maximal fan-out.
+	best := ChooseDOP(points, func(a, b DOPPoint) bool { return a.Energy < b.Energy })
+	if best.DOP == 1 || best.DOP == 8 {
+		t.Errorf("energy-optimal DOP must be interior, got %d", best.DOP)
+	}
+	// Min-time always races all cores.
+	fastest := ChooseDOP(points, func(a, b DOPPoint) bool { return a.Time < b.Time })
+	if fastest.DOP != 8 {
+		t.Errorf("min-time must pick the widest fan-out, got %d", fastest.DOP)
+	}
+	// Ties keep the lower DOP and degenerate input yields DOP 1.
+	if d := ChooseDOP(nil, func(a, b DOPPoint) bool { return false }); d.DOP != 1 {
+		t.Errorf("empty sweep must fall back to DOP 1, got %d", d.DOP)
+	}
+	if got := PriceDOP(m, w, p, 0, 4, 0.05); got.DOP != 1 {
+		t.Errorf("PriceDOP must clamp d to 1, got %d", got.DOP)
+	}
+}
