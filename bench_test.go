@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/colstore"
 	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/expr"
@@ -82,9 +83,12 @@ func BenchmarkE6Tiering(b *testing.B) {
 
 // BenchmarkE7ScanKernels measures the three scan kernels directly; this
 // is the repository's SIMD-substitute figure.  Throughput is reported as
-// bytes of logical int64 data filtered per second.
+// bytes of logical int64 data filtered per second; bytes-touched/op is
+// the physical DRAM traffic the kernel streams and J/op its energy-model
+// price (the same per-byte/per-instruction formulas colstore charges).
 func BenchmarkE7ScanKernels(b *testing.B) {
 	const n = 1 << 20
+	model := energy.DefaultModel()
 	vals := workload.UniformInts(1, n, 1<<16)
 	codes := make([]uint64, n)
 	for i, v := range vals {
@@ -92,8 +96,14 @@ func BenchmarkE7ScanKernels(b *testing.B) {
 	}
 	packed := vec.NewPacked(codes, 16)
 	c := int64(1 << 15) // 50% selectivity: worst case for branching
+	report := func(b *testing.B, work energy.Counters) {
+		b.ReportMetric(float64(work.BytesReadDRAM), "bytes-touched/op")
+		j := model.DynamicEnergy(work, model.Core.MaxPState()).Total()
+		b.ReportMetric(float64(j), "J/op")
+	}
 	b.Run("branching", func(b *testing.B) {
 		b.SetBytes(n * 8)
+		report(b, energy.Counters{BytesReadDRAM: n * 8, Instructions: n * 3})
 		for i := 0; i < b.N; i++ {
 			out := vec.NewBitvec(n)
 			vec.ScanBranching(vals, vec.LT, c, out)
@@ -101,6 +111,7 @@ func BenchmarkE7ScanKernels(b *testing.B) {
 	})
 	b.Run("predicated", func(b *testing.B) {
 		b.SetBytes(n * 8)
+		report(b, energy.Counters{BytesReadDRAM: n * 8, Instructions: n * 3})
 		for i := 0; i < b.N; i++ {
 			out := vec.NewBitvec(n)
 			vec.ScanPredicated(vals, vec.LT, c, out)
@@ -108,6 +119,8 @@ func BenchmarkE7ScanKernels(b *testing.B) {
 	})
 	b.Run("word-parallel", func(b *testing.B) {
 		b.SetBytes(n * 8)
+		words := uint64(packed.WordCount())
+		report(b, energy.Counters{BytesReadDRAM: words * 8, Instructions: words * 6})
 		for i := 0; i < b.N; i++ {
 			out := vec.NewBitvec(n)
 			packed.Scan(vec.LT, uint64(c), out)
@@ -263,17 +276,56 @@ func BenchmarkParallelScanAgg(b *testing.B) {
 		GroupBy: []string{"region"},
 		Aggs:    []expr.AggSpec{{Func: expr.AggSum, Col: "amount", As: "rev"}},
 	}
+	model := eng.Model()
 	for _, dop := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("dop-%d", dop), func(b *testing.B) {
 			b.SetBytes(rows * 8)
+			var work energy.Counters
 			for i := 0; i < b.N; i++ {
 				ctx := exec.NewCtx()
 				ctx.Parallelism = dop
 				if _, err := plan.Run(ctx); err != nil {
 					b.Fatal(err)
 				}
+				work = ctx.Meter.Snapshot()
 			}
+			// Counters are DOP-invariant, so the last iteration's meter
+			// prices any of them.
+			j := model.DynamicEnergy(work, model.Core.MaxPState()).Total()
+			b.ReportMetric(float64(j), "J/op")
+			b.ReportMetric(float64(work.BytesReadDRAM+work.BytesWrittenDRAM), "bytes-touched/op")
 		})
+	}
+}
+
+// BenchmarkE19CompressedScan scans 1M-row columns of each E19 data shape
+// raw (unsealed) and sealed into the advisor-chosen compressed layout, at
+// 50% selectivity.  J/op and bytes-touched/op report the energy model's
+// view of one scan: the compressed arm must stream strictly fewer bytes
+// (TestE19Shape asserts it; this makes the gap measurable over time).
+func BenchmarkE19CompressedScan(b *testing.B) {
+	const n = 1 << 20
+	model := energy.DefaultModel()
+	for _, shape := range experiments.E19BenchShapes(n) {
+		for _, arm := range []string{"raw", "compressed"} {
+			col := colstore.NewIntColumn()
+			col.AppendSlice(shape.Vals)
+			if arm == "compressed" {
+				col.Seal()
+			}
+			cut := shape.Cut
+			b.Run(shape.Name+"/"+arm, func(b *testing.B) {
+				b.SetBytes(n * 8)
+				var work energy.Counters
+				for i := 0; i < b.N; i++ {
+					out := vec.NewBitvec(n)
+					work = col.ScanRows(vec.LT, cut, 0, n, out)
+				}
+				j := model.DynamicEnergy(work, model.Core.MaxPState()).Total()
+				b.ReportMetric(float64(j), "J/op")
+				b.ReportMetric(float64(work.BytesReadDRAM), "bytes-touched/op")
+			})
+		}
 	}
 }
 

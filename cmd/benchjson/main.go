@@ -1,0 +1,135 @@
+// Command benchjson converts `go test -bench` output into the committed
+// benchmark-trajectory JSON (BENCH_PR3.json and successors): one record
+// per benchmark with every reported metric (ns/op, MB/s, and the custom
+// J/op and bytes-touched/op metrics the root benchmarks emit), so CI runs
+// leave comparable data points instead of scrolled-away logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench <pattern> -benchtime=1x -count=1 . | \
+//	    go run ./cmd/benchjson -out BENCH_PR3.json
+//
+// Timing noise is expected (CI runners are shared, this repo's container
+// is single-CPU): the tool never judges values, it only records them.
+// A run fails only if the benchmark binary itself failed, which go test
+// signals via its exit code before this tool runs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark result: the -N suffix (GOMAXPROCS) is kept in
+// the name so runs on differently shaped machines stay distinguishable.
+type Bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// File is the committed JSON shape.
+type File struct {
+	Schema     string  `json:"schema"`
+	Goos       string  `json:"goos,omitempty"`
+	Goarch     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "", "bench output to read (default stdin)")
+	out := flag.String("out", "", "JSON file to write (default stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	file, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(file.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+	buf, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parse scans bench output: header lines (goos/goarch/cpu) fill the file
+// metadata, "Benchmark..." lines become records.  The line grammar after
+// the name and iteration count is value/unit pairs, which covers ns/op,
+// MB/s, B/op, allocs/op, and all ReportMetric units.
+func parse(r io.Reader) (*File, error) {
+	file := &File{Schema: "bench-trajectory/v1"}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			file.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			file.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			file.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Bench{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad metric value %q", line, fields[i])
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		file.Benchmarks = append(file.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(file.Benchmarks, func(i, j int) bool {
+		return file.Benchmarks[i].Name < file.Benchmarks[j].Name
+	})
+	return file, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

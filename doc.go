@@ -4,7 +4,10 @@
 // substrate the paper's argument rests on — word-parallel scans, a
 // morsel-driven parallel executor with an energy-aware degree of
 // parallelism chosen per query from the scheduler's P-state cost model,
-// compression codecs, secondary indexes, a dual time/energy optimizer, an
+// compression codecs with advisor-chosen per-segment storage and
+// operate-on-compressed scan kernels (predicates evaluated directly on
+// RLE runs, delta checkpoints, dictionary codes, and bit-packed words),
+// secondary indexes, a dual time/energy optimizer, an
 // energy-aware scheduler, concurrency-control schemes, a QoS REDO log, a
 // storage hierarchy, a network simulator, distributed query shipping
 // (internal/dist: ship-raw vs ship-compressed vs aggregate pushdown over

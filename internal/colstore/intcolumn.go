@@ -7,13 +7,33 @@ import (
 )
 
 // intSegment is one block of an IntColumn.  Unsealed segments hold raw
-// values; Seal freezes a segment into a frame-of-reference bit-packed
-// layout (values - base packed at the minimal width) and records its zone
-// map.
+// values; seal (segment.go) runs the compress advisor over the block and
+// freezes it into the advisor-chosen compressed layout — bit-packed
+// frame-of-reference codes, RLE runs, checkpointed varint deltas, or a
+// sorted dictionary with packed codes — recording its zone map either
+// way.  Scans operate directly on the compressed layout (see the kernels
+// in segment.go).
 type intSegment struct {
-	raw    []int64     // nil once sealed
-	packed *vec.Packed // non-nil once sealed
-	base   int64       // frame of reference for packed codes
+	raw []int64     // nil once sealed (kept only for EncRaw fallback)
+	enc SegEncoding // layout of the sealed representation
+
+	// EncBitpack: frame-of-reference codes; EncDict reuses packed for
+	// its dictionary codes.
+	packed *vec.Packed
+	base   int64 // frame of reference for bitpack codes
+
+	// EncRLE.
+	runs      []compress.Run
+	runStarts []int32 // row offset of each run, for point access
+
+	// EncDelta.
+	payload []byte
+	checks  []deltaCheck
+
+	// EncDict.
+	dictVals []int64 // sorted distinct values; code = index
+
+	n      int // rows once sealed
 	min    int64
 	max    int64
 	sealed bool
@@ -21,45 +41,16 @@ type intSegment struct {
 
 func (s *intSegment) length() int {
 	if s.sealed {
-		return s.packed.Len()
+		return s.n
 	}
 	return len(s.raw)
 }
 
 func (s *intSegment) get(i int) int64 {
 	if s.sealed {
-		return s.base + int64(s.packed.Get(i))
+		return s.getSealed(i)
 	}
 	return s.raw[i]
-}
-
-// seal converts the raw segment to its packed representation.
-func (s *intSegment) seal() {
-	if s.sealed || len(s.raw) == 0 {
-		return
-	}
-	min, max := s.raw[0], s.raw[0]
-	for _, v := range s.raw {
-		if v < min {
-			min = v
-		}
-		if v > max {
-			max = v
-		}
-	}
-	s.min, s.max = min, max
-	width := compress.BitsFor(uint64(max - min))
-	if width > 63 {
-		width = 63 // degenerate full-range column: fall back to wide codes
-	}
-	codes := make([]uint64, len(s.raw))
-	for i, v := range s.raw {
-		codes[i] = uint64(v - min)
-	}
-	s.base = min
-	s.packed = vec.NewPacked(codes, width)
-	s.raw = nil
-	s.sealed = true
 }
 
 // IntColumn is a segmented column of int64 values.
@@ -83,7 +74,7 @@ func (c *IntColumn) Bytes() uint64 {
 	var b uint64
 	for _, s := range c.segs {
 		if s.sealed {
-			b += uint64(s.packed.WordCount()) * 8
+			b += s.footprintBytes()
 		} else {
 			b += uint64(len(s.raw)) * 8
 		}
@@ -109,7 +100,7 @@ func (c *IntColumn) AppendSlice(vs []int64) {
 	}
 }
 
-// Seal freezes every segment into its packed scan-optimized layout.
+// Seal freezes every segment into its advisor-chosen compressed layout.
 // Sealed columns remain appendable: new values open a fresh raw segment.
 func (c *IntColumn) Seal() {
 	for _, s := range c.segs {
@@ -133,12 +124,15 @@ func (c *IntColumn) Get(i int) int64 {
 	return c.segs[lo].get(i - c.starts[lo])
 }
 
-// Values materializes the whole column (test/diagnostic path).
+// Values materializes the whole column (bulk decode; also the
+// index-build path).
 func (c *IntColumn) Values() []int64 {
 	out := make([]int64, 0, c.n)
 	for _, s := range c.segs {
-		for i := 0; i < s.length(); i++ {
-			out = append(out, s.get(i))
+		if s.sealed {
+			out = s.appendValues(out)
+		} else {
+			out = append(out, s.raw...)
 		}
 	}
 	return out
@@ -149,16 +143,17 @@ func (c *IntColumn) Values() []int64 {
 type ScanStats struct {
 	SegmentsTotal   int
 	SegmentsSkipped int // pruned by zone map
-	SegmentsPacked  int // scanned word-parallel
+	SegmentsPacked  int // scanned operate-on-compressed
 	SegmentsRaw     int // scanned tuple-at-a-time
 }
 
 // Scan evaluates `value op c` over the whole column into out (length
-// Len).  Sealed segments use zone-map pruning plus the word-parallel
-// packed kernel; unsealed segments fall back to a branch-free scalar scan.
-// The returned counters price the work for the energy model.  Scan is
-// the whole-column case of the shared scanRows kernel (see scanrows.go),
-// so serial and morsel-parallel scans cannot drift apart.
+// Len).  Sealed segments use zone-map pruning plus the per-codec
+// operate-on-compressed kernels; unsealed segments fall back to a
+// branch-free scalar scan.  The returned counters price the work for the
+// energy model.  Scan is the whole-column case of the shared scanRows
+// kernel (see scanrows.go), so serial and morsel-parallel scans cannot
+// drift apart.
 func (c *IntColumn) Scan(op vec.CmpOp, cval int64, out *vec.Bitvec) (energy.Counters, ScanStats) {
 	return c.scanRows(op, cval, 0, c.n, out)
 }

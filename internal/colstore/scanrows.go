@@ -19,9 +19,9 @@ import (
 // morsel decomposition prices identically at any degree of parallelism.
 
 // ScanRows evaluates `value op c` over rows [lo, hi) into out (length
-// hi-lo).  Sealed segments use zone-map pruning plus the word-parallel
-// packed kernel; unsealed segments use the branch-free scalar kernel on
-// the overlapping raw slice.
+// hi-lo).  Sealed segments use zone-map pruning plus the per-codec
+// operate-on-compressed kernels (segment.go); unsealed segments use the
+// branch-free scalar kernel on the overlapping raw slice.
 func (c *IntColumn) ScanRows(op vec.CmpOp, cval int64, lo, hi int, out *vec.Bitvec) energy.Counters {
 	ctr, _ := c.scanRows(op, cval, lo, hi, out)
 	return ctr
@@ -54,40 +54,26 @@ func (c *IntColumn) scanRows(op vec.CmpOp, cval int64, lo, hi int, out *vec.Bitv
 		}
 		la, lb := a-start, b-start // window in segment-local coordinates
 		rows := uint64(b - a)
+		// TuplesIn counts the logical rows the predicate covers — a
+		// property of the window, not of the storage format or of how
+		// much physical data the zone maps let the scan skip — so raw
+		// and compressed scans charge identical row counters.
+		ctr.TuplesIn += rows
 		switch {
 		case s.sealed && zonePrune(op, cval, s.min, s.max):
 			// Zone map proves no row matches: nothing touched.
 			st.SegmentsSkipped++
 		case s.sealed && zoneFull(op, cval, s.min, s.max):
 			// Every row matches: set bits without touching data.
-			for i := a; i < b; i++ {
-				out.Set(i - lo)
-			}
+			out.SetRange(a-lo, b-lo)
 			st.SegmentsSkipped++
 			ctr.Instructions += rows / 8
-		case s.sealed:
+		case s.sealed && s.enc != EncRaw:
+			// Mismatchable segment: evaluate directly on the compressed
+			// layout (segment.go), charging the compressed bytes
+			// streamed plus the codec's decode work.
 			st.SegmentsPacked++
-			sub := vec.NewBitvec(n)
-			// Predicate on original values -> predicate on codes via the
-			// frame of reference.  Constants below base clamp to 0 with
-			// op-specific semantics handled by shifting first.
-			code, ok := shiftConst(op, cval, s.base)
-			if ok {
-				s.packed.Scan(op, code, sub)
-			} else if matchesAll(op, cval, s.min, s.max) {
-				sub.SetAll()
-			}
-			sub.ForEach(func(i int) {
-				if i >= la && i < lb {
-					out.Set(start + i - lo)
-				}
-			})
-			// The packed kernel always streams the whole segment; a
-			// partially overlapped segment is priced accordingly.
-			words := uint64(s.packed.WordCount())
-			ctr.BytesReadDRAM += words * 8
-			ctr.Instructions += words * 6 // SWAR ops + compaction
-			ctr.TuplesIn += rows
+			ctr.Add(s.scanCompressed(op, cval, la, lb, start, lo, out))
 		default:
 			st.SegmentsRaw++
 			sub := vec.NewBitvec(lb - la)
@@ -95,7 +81,6 @@ func (c *IntColumn) scanRows(op vec.CmpOp, cval int64, lo, hi int, out *vec.Bitv
 			sub.ForEach(func(i int) { out.Set(a + i - lo) })
 			ctr.BytesReadDRAM += rows * 8
 			ctr.Instructions += rows * 3
-			ctr.TuplesIn += rows
 		}
 	}
 	ctr.TuplesOut = uint64(out.Count())
@@ -149,9 +134,7 @@ func (c *StringColumn) ScanRows(op vec.CmpOp, s string, lo, hi int, out *vec.Bit
 	case codeScan:
 		return c.codes.ScanRows(codeOp, code, lo, hi, out)
 	case codeAll:
-		for i := 0; i < hi-lo; i++ {
-			out.Set(i)
-		}
+		out.SetRange(0, hi-lo)
 		return energy.Counters{TuplesIn: uint64(hi - lo), TuplesOut: uint64(hi - lo)}
 	case codeNone:
 		return energy.Counters{TuplesIn: uint64(hi - lo)}

@@ -1,13 +1,19 @@
 // Package colstore implements the in-memory column store at the heart of
 // the engine: typed columns split into fixed-size segments with zone maps
-// (per-segment min/max), optional bit-packed physical layouts that the
-// word-parallel scans of internal/vec stream through, and order-preserving
+// (per-segment min/max), advisor-chosen compressed segment layouts
+// (frame-of-reference bit-packing, RLE, checkpointed varint deltas,
+// sorted dictionaries — see segment.go) whose scan kernels evaluate
+// predicates directly on the compressed form, and order-preserving
 // dictionary encoding for strings.
 //
 // The layout follows the paper's "main memory is the new disk" analogy:
 // segments are the blocks, zone maps are the coarse index that lets scans
 // skip blocks entirely (fewer bytes touched -> less energy), and sealing a
-// segment freezes it into its compressed scan-optimized form.
+// segment freezes it into its compressed scan-optimized form.  Energy
+// charges follow the physical layout — compressed bytes streamed plus
+// codec decode cost — while the logical row counters (TuplesIn/TuplesOut)
+// stay storage-blind, so compressed and raw scans of the same data price
+// the same rows but different joules.
 package colstore
 
 import "fmt"

@@ -1,0 +1,94 @@
+package compress
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// adversarialInputs are the inputs most likely to break a codec: empty,
+// one run, all-distinct, the int64 extremes (frame-of-reference and
+// zigzag overflow territory), and sorted deltas with extreme jumps.
+func adversarialInputs() map[string][]int64 {
+	allDistinct := make([]int64, 5000)
+	for i := range allDistinct {
+		allDistinct[i] = int64(i)*2654435761 + 12345 // distinct, unordered
+	}
+	return map[string][]int64{
+		"empty":        {},
+		"single":       {42},
+		"single-run":   {7, 7, 7, 7, 7, 7, 7, 7},
+		"two-runs":     append(make([]int64, 300), 1),
+		"all-distinct": allDistinct,
+		"minmax": {math.MinInt64, math.MaxInt64, 0, -1, 1,
+			math.MinInt64, math.MaxInt64},
+		"minmax-run":   {math.MinInt64, math.MinInt64, math.MaxInt64, math.MaxInt64},
+		"sorted-small": workload.SortedInts(9, 3000, 3),
+		"sorted-jumps": {math.MinInt64, -1, 0, 1, math.MaxInt64 - 1, math.MaxInt64},
+		"neg-sorted":   {-1000, -100, -10, -1, 0, 1, 10},
+	}
+}
+
+// TestCodecsRoundTripAdversarial round-trips every registered codec over
+// every adversarial input: byte-exact values back, no panics, no silent
+// truncation.
+func TestCodecsRoundTripAdversarial(t *testing.T) {
+	for name, in := range adversarialInputs() {
+		for _, c := range All() {
+			payload := c.Compress(in)
+			got, err := c.Decompress(payload)
+			if err != nil {
+				t.Errorf("%s/%s: decompress: %v", c.Name(), name, err)
+				continue
+			}
+			if len(in) == 0 {
+				if len(got) != 0 {
+					t.Errorf("%s/%s: empty input decoded to %d values", c.Name(), name, len(got))
+				}
+				continue
+			}
+			if !reflect.DeepEqual(got, in) {
+				t.Errorf("%s/%s: round trip mismatch (%d values in, %d out)",
+					c.Name(), name, len(in), len(got))
+			}
+		}
+	}
+}
+
+// TestAnalyzeDistinctSaturation: the distinct counter saturates at
+// DistinctCap; the result must say so instead of posing as exact, and
+// the advisor must not choose dict off a saturated (lower-bound) count.
+func TestAnalyzeDistinctSaturation(t *testing.T) {
+	small := Analyze(workload.UniformInts(3, 1000, 100))
+	if small.DistinctCapped {
+		t.Error("100-distinct input must not saturate")
+	}
+	if small.Distinct < 90 || small.Distinct > 100 {
+		t.Errorf("small distinct count off: %d", small.Distinct)
+	}
+
+	// An all-distinct input larger than 8*DistinctCap: the saturated
+	// count (DistinctCap) would satisfy the dict arm's Distinct <= N/8,
+	// but the true cardinality (= N) makes a dictionary useless.  The
+	// capped flag must steer the advisor away.
+	n := 8*DistinctCap + 1000
+	big := make([]int64, n)
+	for i := range big {
+		// Bijective mix: all values distinct, order scrambled (a plain
+		// i*const stays sorted and would divert the advisor to delta).
+		h := uint64(i) * 0x9E3779B97F4A7C15
+		big[i] = int64(h ^ h>>29)
+	}
+	st := Analyze(big)
+	if !st.DistinctCapped {
+		t.Fatalf("%d distinct values must saturate the cap (%d): %+v", n, DistinctCap, st)
+	}
+	if st.Distinct != DistinctCap {
+		t.Errorf("saturated count must equal the cap: %d vs %d", st.Distinct, DistinctCap)
+	}
+	if got := Choose(st); got.Name() == "dict" {
+		t.Errorf("advisor chose dict off a saturated distinct count")
+	}
+}

@@ -11,6 +11,15 @@
 // simulated seconds.  The constants in DefaultModel follow published
 // per-operation energies for commodity 2013-era servers; all experiment
 // conclusions depend only on their relative magnitudes.
+//
+// Counter conventions: the byte counters record PHYSICAL movement — a
+// scan over compressed column segments charges BytesReadDRAM for the
+// compressed bytes it streams (plus decode Instructions), not for the
+// logical width of the data, which is how operating on compressed
+// segments shows up as an energy saving (experiment E19).  The tuple
+// counters record LOGICAL work — TuplesIn/TuplesOut are storage-format-
+// and parallelism-invariant, so identical queries over identical data
+// charge identical row counters at any DOP and any storage layout.
 package energy
 
 import (

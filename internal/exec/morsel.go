@@ -82,12 +82,15 @@ func runMorsels[T any](ctx *Ctx, n int, work func(m, lo, hi int) (T, energy.Coun
 // ParallelScan is the morsel-driven counterpart of Scan: a full table
 // scan with conjunctive predicates pushed down, evaluated morsel-wise by
 // a worker pool.  Predicates run through the same zone-map-pruned
-// word-parallel kernels as the serial scan (colstore's ScanRows), each
-// morsel materializes its own slice of the projected columns, and the
-// coordinator concatenates the slices in morsel order — so the output
-// rows, their order, and the charged counters match the serial Scan at
-// any degree of parallelism.  The optimizer emits it instead of Scan
-// when a table's cardinality clears opt.ParallelScanRows.
+// operate-on-compressed kernels as the serial scan (colstore's ScanRows
+// dispatching per segment codec: RLE runs, delta boundary search,
+// dictionary code rewrite, bit-packed SWAR), each morsel materializes
+// its own slice of the projected columns, and the coordinator
+// concatenates the slices in morsel order — so the output rows, their
+// order, and the charged counters match the serial Scan at any degree
+// of parallelism, whatever layout the table is sealed into.  The
+// optimizer emits it instead of Scan when a table's cardinality clears
+// opt.ParallelScanRows.
 type ParallelScan struct {
 	Table  *colstore.Table
 	Select []string // output columns; empty = all

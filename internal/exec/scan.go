@@ -242,23 +242,7 @@ func (s *Scan) materialize(ctx *Ctx, rows []int32) (*Relation, error) {
 	return out, nil
 }
 
-func cmpInt(op vec.CmpOp, a, b int64) bool {
-	switch op {
-	case vec.LT:
-		return a < b
-	case vec.LE:
-		return a <= b
-	case vec.GT:
-		return a > b
-	case vec.GE:
-		return a >= b
-	case vec.EQ:
-		return a == b
-	case vec.NE:
-		return a != b
-	}
-	return false
-}
+func cmpInt(op vec.CmpOp, a, b int64) bool { return vec.CmpInt64(op, a, b) }
 
 func cmpFloat(op vec.CmpOp, a, b float64) bool {
 	switch op {

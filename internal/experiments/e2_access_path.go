@@ -5,12 +5,15 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/colstore"
+	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/index"
 	"repro/internal/opt"
 	"repro/internal/vec"
+	"repro/internal/workload"
 )
 
 func init() {
@@ -35,16 +38,31 @@ type E2Row struct {
 
 // E2Sweep measures full scan vs B+-tree access at each selectivity and
 // records which one the planner would have picked.
+//
+// The probed column is a shuffled permutation of 0..rows-1: a sorted key
+// would be pointless to index now that sealing delta-compresses sorted
+// segments and the scan kernel boundary-searches them — the storage
+// format subsumes the index.  On a shuffled key every segment spans the
+// full domain, so zone maps cannot prune and the index's positional
+// information is genuinely additional.
 func E2Sweep(rows int) ([]E2Row, error) {
-	e, err := ordersEngine(rows)
+	e := core.Open()
+	tab, err := e.CreateTable("lookup", colstore.Schema{{Name: "id", Type: colstore.Int64}})
 	if err != nil {
 		return nil, err
 	}
-	if err := e.CreateIndex("orders", "id", "btree"); err != nil {
+	keys := make([]int64, rows)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	workload.NewRNG(11).Shuffle(rows, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	if err := tab.LoadInt64("id", keys); err != nil {
 		return nil, err
 	}
-	tab, err := e.Catalog().Table("orders")
-	if err != nil {
+	if err := e.Seal("lookup"); err != nil {
+		return nil, err
+	}
+	if err := e.CreateIndex("lookup", "id", "btree"); err != nil {
 		return nil, err
 	}
 	ic, err := tab.IntCol("id")
@@ -89,7 +107,7 @@ func E2Sweep(rows int) ([]E2Row, error) {
 		if idxJ < scanJ {
 			winner = "index"
 		}
-		choice, err := opt.ChooseAccess(e.Catalog(), cm, "orders", preds, 1, opt.MinEnergy)
+		choice, err := opt.ChooseAccess(e.Catalog(), cm, "lookup", preds, 1, opt.MinEnergy)
 		if err != nil {
 			return nil, err
 		}
@@ -125,6 +143,8 @@ func runE2(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(w, "\nshape: the index wins at needle selectivities, the scan past the crossover (~1-5%);")
-	fmt.Fprintln(w, "the planner's pick follows the measured winner on both sides of it.")
+	fmt.Fprintln(w, "the planner's pick follows the measured winner on both sides of it.  The key is a")
+	fmt.Fprintln(w, "shuffled permutation: a sorted key needs no index at all anymore, because sealed")
+	fmt.Fprintln(w, "sorted segments delta-compress and the scan kernel boundary-searches them (E19).")
 	return nil
 }

@@ -11,8 +11,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("expected 18 experiments (E1-E14 + extensions E15-E18), have %d", len(all))
+	if len(all) != 19 {
+		t.Fatalf("expected 19 experiments (E1-E14 + extensions E15-E19), have %d", len(all))
 	}
 	for i, e := range all {
 		if want := fmt.Sprintf("E%d", i+1); e.ID != want {
@@ -352,6 +352,40 @@ func TestE18Shape(t *testing.T) {
 	if best == 0 || best == len(rows)-1 {
 		t.Errorf("energy optimum must be interior, got DOP %d of %v", rows[best].DOP,
 			[]int{rows[0].DOP, rows[len(rows)-1].DOP})
+	}
+}
+
+func TestE19Shape(t *testing.T) {
+	// E19Sweep itself fails if any compressed scan's result bits or
+	// logical row counters diverge from the raw scan, or if the seal
+	// advisor picks an unexpected codec for a shape.
+	rows, err := E19Sweep(300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty sweep")
+	}
+	for _, r := range rows {
+		// The headline claim: operating on compressed segments streams
+		// strictly fewer bytes (hence less energy) than the raw scan, at
+		// every selectivity and for every codec the advisor picks.
+		if r.CompBytes >= r.RawBytes {
+			t.Errorf("%s %s sel=%.2f: compressed scan must touch fewer bytes: %d vs %d",
+				r.Data, r.Codec, r.Selectivity, r.CompBytes, r.RawBytes)
+		}
+		if r.CompJ >= r.RawJ {
+			t.Errorf("%s %s sel=%.2f: compressed scan must cost less energy: %v vs %v",
+				r.Data, r.Codec, r.Selectivity, r.CompJ, r.RawJ)
+		}
+	}
+	// RLE- and dict-friendly data must win big, not marginally: the runs
+	// shape evaluates once per run, the sorted shape boundary-searches.
+	for _, r := range rows {
+		if (r.Codec == "rle" || r.Codec == "delta") && r.RawBytes < 4*r.CompBytes {
+			t.Errorf("%s %s sel=%.2f: expected >=4x byte reduction, got %d vs %d",
+				r.Data, r.Codec, r.Selectivity, r.RawBytes, r.CompBytes)
+		}
 	}
 }
 

@@ -26,6 +26,10 @@ type ColStats struct {
 	Min, Max  int64 // integer domain bounds (valid when HasMinMax)
 	HasMinMax bool
 	Distinct  int // estimated distinct count
+	// ScanBytesPerValue is the physical bytes a predicate scan streams
+	// per value under the column's sealed segment codecs (compressed
+	// footprint / rows); zero when unknown, 8 for raw layouts.
+	ScanBytesPerValue float64
 }
 
 // TableStats summarizes one table.
@@ -33,6 +37,10 @@ type TableStats struct {
 	Name string
 	Rows int
 	Cols map[string]ColStats
+	// Storage is the table's physical layout snapshot: per-column codec
+	// mix and the stored-vs-raw compression ratio the planner reports in
+	// PlanInfo.
+	Storage colstore.TableStorage
 }
 
 // Selectivity estimates the fraction of rows matching p under a uniform
@@ -93,9 +101,16 @@ func NewCatalog() *Catalog {
 
 // AddTable registers a table and computes its statistics.
 func (c *Catalog) AddTable(t *colstore.Table) {
-	ts := &TableStats{Name: t.Name, Rows: t.Rows(), Cols: map[string]ColStats{}}
+	ts := &TableStats{Name: t.Name, Rows: t.Rows(), Cols: map[string]ColStats{}, Storage: t.Storage()}
+	colStorage := make(map[string]colstore.ColumnStorage, len(ts.Storage.Cols))
+	for _, s := range ts.Storage.Cols {
+		colStorage[s.Name] = s
+	}
 	for _, d := range t.Schema() {
 		cs := ColStats{Type: d.Type}
+		if s, ok := colStorage[d.Name]; ok && ts.Rows > 0 {
+			cs.ScanBytesPerValue = float64(s.StoredBytes) / float64(ts.Rows)
+		}
 		switch d.Type {
 		case colstore.Int64:
 			ic, _ := t.IntCol(d.Name)

@@ -56,12 +56,26 @@ type Query struct {
 // worker-pool launch and merge overheads outweigh the morsel win.
 const ParallelScanRows = 1 << 18
 
+// TableStorageInfo reports the storage-format axis of one scanned table:
+// how well its sealed segments compress and how many physical bytes the
+// planner expects the chosen access path to stream.
+type TableStorageInfo struct {
+	Ratio        float64 // stored/raw bytes of the base table (<1 compresses)
+	StoredBytes  uint64  // compressed footprint of the base table
+	RawBytes     uint64  // uncompressed footprint
+	EstScanBytes uint64  // estimated DRAM bytes the chosen access path streams
+}
+
 // PlanInfo reports what the planner decided.
 type PlanInfo struct {
 	Explain  string
 	Access   map[string]AccessChoice // per-table access decision
 	Est      Cost                    // total estimated cost
 	Parallel bool                    // plan contains a morsel-parallel operator
+	// Storage reports, per scanned table, the compression ratio of its
+	// sealed segments and the estimated bytes this plan streams —
+	// the storage-format axis of the energy model.
+	Storage map[string]TableStorageInfo
 }
 
 // Plan lowers the logical query onto the physical operator tree, choosing
@@ -70,7 +84,7 @@ func (c *Catalog) Plan(q *Query, cm *CostModel, obj Objective) (exec.Node, *Plan
 	if q.From == "" {
 		return nil, nil, fmt.Errorf("opt: query has no FROM table")
 	}
-	info := &PlanInfo{Access: map[string]AccessChoice{}}
+	info := &PlanInfo{Access: map[string]AccessChoice{}, Storage: map[string]TableStorageInfo{}}
 
 	// Partition predicates by owning table.
 	tables := []string{q.From}
@@ -148,6 +162,14 @@ func (c *Catalog) Plan(q *Query, cm *CostModel, obj Objective) (exec.Node, *Plan
 		info.Est.Time += choice.Est.Time
 		info.Est.Energy += choice.Est.Energy
 		info.Est.Work.Add(choice.Est.Work)
+		if ts, err := c.Stats(table); err == nil {
+			info.Storage[table] = TableStorageInfo{
+				Ratio:        ts.Storage.Ratio(),
+				StoredBytes:  ts.Storage.StoredBytes,
+				RawBytes:     ts.Storage.RawBytes,
+				EstScanBytes: choice.Est.Work.BytesReadDRAM,
+			}
+		}
 		tab, err := c.Table(table)
 		if err != nil {
 			return nil, err

@@ -48,6 +48,27 @@ func (b *Bitvec) SetAll() {
 	b.maskTail()
 }
 
+// SetRange sets every bit in [lo, hi), word-at-a-time — the bulk fill
+// behind run-length and boundary-search scan kernels, whose matches are
+// contiguous row intervals (64 bits per store instead of one).
+func (b *Bitvec) SetRange(lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	lw, hw := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - uint(hi-1)&63)
+	if lw == hw {
+		b.words[lw] |= loMask & hiMask
+		return
+	}
+	b.words[lw] |= loMask
+	for w := lw + 1; w < hw; w++ {
+		b.words[w] = ^uint64(0)
+	}
+	b.words[hw] |= hiMask
+}
+
 // Reset clears every bit.
 func (b *Bitvec) Reset() {
 	for i := range b.words {

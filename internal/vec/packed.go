@@ -109,6 +109,27 @@ const (
 	NE              // value != constant
 )
 
+// CmpInt64 evaluates `a op b` scalar-wise — the one shared evaluator
+// behind point verification (exec) and run-at-a-time kernels (colstore),
+// so a new operator cannot silently diverge between them.
+func CmpInt64(op CmpOp, a, b int64) bool {
+	switch op {
+	case LT:
+		return a < b
+	case LE:
+		return a <= b
+	case GT:
+		return a > b
+	case GE:
+		return a >= b
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	}
+	return false
+}
+
 // String returns the SQL spelling of the operator.
 func (op CmpOp) String() string {
 	switch op {

@@ -246,3 +246,31 @@ func TestPackedScanEmptyInput(t *testing.T) {
 		t.Fatal("empty scan must match nothing")
 	}
 }
+
+func TestBitvecSetRange(t *testing.T) {
+	const n = 300
+	ranges := [][2]int{
+		{0, 0}, {0, 1}, {0, 64}, {0, 65}, {0, n},
+		{1, 63}, {63, 64}, {63, 65}, {64, 128}, {64, 129},
+		{5, 5}, {17, 250}, {128, 192}, {299, 300}, {250, 299},
+	}
+	for _, r := range ranges {
+		got := NewBitvec(n)
+		got.SetRange(r[0], r[1])
+		want := NewBitvec(n)
+		for i := r[0]; i < r[1]; i++ {
+			want.Set(i)
+		}
+		if !reflect.DeepEqual(got.Words(), want.Words()) {
+			t.Fatalf("SetRange(%d,%d) mismatch: got %d bits want %d",
+				r[0], r[1], got.Count(), want.Count())
+		}
+	}
+	// Ranges must OR into existing bits, not overwrite them.
+	b := NewBitvec(n)
+	b.Set(2)
+	b.SetRange(100, 200)
+	if !b.Get(2) || b.Count() != 101 {
+		t.Fatalf("SetRange must preserve existing bits: count %d", b.Count())
+	}
+}
