@@ -329,6 +329,45 @@ func BenchmarkE19CompressedScan(b *testing.B) {
 	}
 }
 
+// BenchmarkE20PartitionedJoin joins a 1M-row sales table to a 100K-row
+// customer dimension on a string key, planned two ways: over raw tables
+// (serial string-hashing join) and over sealed tables (radix-partitioned
+// morsel-parallel join on dictionary codes).  J/op and bytes-touched/op
+// report the energy model's view of one whole plan; the dict arm must
+// stream strictly fewer bytes (TestE20Shape asserts it; this makes the
+// gap measurable over time).  Wall times on the 1-CPU CI runner measure
+// the code path, not parallel speedup — DOP invariance is the tested
+// contract.
+func BenchmarkE20PartitionedJoin(b *testing.B) {
+	const nFact, nDim = 1 << 20, 100_000
+	model := energy.DefaultModel()
+	for _, arm := range []string{"raw", "dict"} {
+		node, _, err := experiments.E20Plan(nFact, nDim, arm == "dict")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(arm, func(b *testing.B) {
+			b.SetBytes(nFact * 8)
+			var work energy.Counters
+			for i := 0; i < b.N; i++ {
+				ctx := exec.NewCtx()
+				ctx.Parallelism = 2
+				rel, err := node.Run(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rel.N == 0 {
+					b.Fatal("join produced no rows")
+				}
+				work = ctx.Meter.Snapshot()
+			}
+			j := model.DynamicEnergy(work, model.Core.MaxPState()).Total()
+			b.ReportMetric(float64(j), "J/op")
+			b.ReportMetric(float64(work.BytesReadDRAM), "bytes-touched/op")
+		})
+	}
+}
+
 // BenchmarkScheduler measures the discrete-event scheduler core (the
 // substrate under E1/E5).
 func BenchmarkScheduler(b *testing.B) {

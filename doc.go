@@ -7,7 +7,9 @@
 // compression codecs with advisor-chosen per-segment storage and
 // operate-on-compressed scan kernels (predicates evaluated directly on
 // RLE runs, delta checkpoints, dictionary codes, and bit-packed words),
-// secondary indexes, a dual time/energy optimizer, an
+// radix-partitioned morsel-parallel hash joins that run string keys in
+// the dictionary code domain, secondary indexes, a dual time/energy
+// optimizer with a DP-to-greedy join-ordering pass, an
 // energy-aware scheduler, concurrency-control schemes, a QoS REDO log, a
 // storage hierarchy, a network simulator, distributed query shipping
 // (internal/dist: ship-raw vs ship-compressed vs aggregate pushdown over

@@ -74,6 +74,20 @@ func (c *StringColumn) Code(s string) (int64, bool) {
 // Ordered reports whether codes are currently in sorted dictionary order.
 func (c *StringColumn) Ordered() bool { return c.ordered }
 
+// Dict exposes the code → string dictionary (sorted once SealSorted has
+// run).  The slice is the column's live dictionary — callers must treat
+// it as read-only.  Together with CodeColumn it is the sealed-segment
+// key-extraction surface of the join pipeline: equi-joins hash and
+// partition the dense integer codes and touch the dictionary only to
+// translate between tables and to materialize output strings.
+func (c *StringColumn) Dict() []string { return c.values }
+
+// CodeColumn exposes the underlying dictionary-code column (read-only).
+// Joins extract key codes from it morsel-wise with DecodeRange, so
+// bit-packed code segments stream their compressed footprint instead of
+// widening per row.
+func (c *StringColumn) CodeColumn() *IntColumn { return c.codes }
+
 // SealSorted re-maps every code into sorted dictionary order and seals the
 // code column, enabling range predicates and packed scans.
 func (c *StringColumn) SealSorted() {

@@ -9,7 +9,10 @@ import (
 
 // HashJoin is an inner equi-join: it builds a hash table on the right
 // (build) input and probes it with the left (probe) input.  The optimizer
-// puts the smaller relation on the build side.
+// puts the smaller relation on the build side.  It is the serial join —
+// one Go-map hash table, probe in left-row order — and doubles as the
+// tiny-input fallback of the radix-partitioned ParallelJoin (partjoin.go),
+// which produces byte-identical relations.
 type HashJoin struct {
 	Left, Right       Node
 	LeftKey, RightKey string
@@ -33,70 +36,238 @@ func (j *HashJoin) Run(ctx *Ctx) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	lk, err := left.Col(j.LeftKey)
-	if err != nil {
-		return nil, err
+	return serialHashJoin(ctx, j.Label(), left, right, j.LeftKey, j.RightKey)
+}
+
+// buildWork / probeWork price key touches at their actual width: 8
+// bytes for integers and dictionary codes, the materialized string
+// bytes plus header on the raw-string path — the byte asymmetry the
+// compressed-key join exists to exploit.  stringKeyWidth averages the
+// width over the keys a string-path join actually hashes.
+func stringKeyWidth(keys []string) float64 {
+	if len(keys) == 0 {
+		return 16
 	}
-	rk, err := right.Col(j.RightKey)
+	var b uint64
+	for _, s := range keys {
+		b += uint64(len(s)) + 16
+	}
+	return float64(b) / float64(len(keys))
+}
+
+// joinKeys resolves and type-checks the two key columns.
+func joinKeys(left, right *Relation, leftKey, rightKey string) (lk, rk *Col, err error) {
+	lk, err = left.Col(leftKey)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	rk, err = right.Col(rightKey)
+	if err != nil {
+		return nil, nil, err
 	}
 	if lk.Type != rk.Type {
-		return nil, fmt.Errorf("exec: join key type mismatch %v vs %v", lk.Type, rk.Type)
+		return nil, nil, fmt.Errorf("exec: join key type mismatch %v vs %v", lk.Type, rk.Type)
+	}
+	return lk, rk, nil
+}
+
+// serialHashJoin is the shared serial join core: build a map on the
+// right input, probe with the left in row order, gather.  Build, probe,
+// and gather are charged as separate phases so energy reports attribute
+// the hash-table bytes, the probe misses, and the output movement
+// instead of undercounting joins as one lump.
+func serialHashJoin(ctx *Ctx, label string, left, right *Relation, leftKey, rightKey string) (*Relation, error) {
+	lk, rk, err := joinKeys(left, right, leftKey, rightKey)
+	if err != nil {
+		return nil, err
 	}
 
 	var lRows, rRows []int32
-	var w energy.Counters
-	switch lk.Type {
-	case colstore.Int64:
-		ht := make(map[int64][]int32, right.N)
-		for i := 0; i < right.N; i++ {
-			ht[rk.I[i]] = append(ht[rk.I[i]], int32(i))
+	switch {
+	case lk.Type == colstore.Int64 || (lk.Dict != nil && rk.Dict != nil):
+		lkeys, rkeys, translated, w := codeDomainKeys(lk, rk)
+		bw := buildWork(right.N, 8)
+		bw.Add(w)
+		ctx.Charge(label+" [build]", right.N, bw)
+		ht := make(map[int64][]int32, len(rkeys))
+		for i, k := range rkeys {
+			if translated && k == noCode {
+				continue // untranslatable build value: matches nothing
+			}
+			ht[k] = append(ht[k], int32(i))
 		}
-		for i := 0; i < left.N; i++ {
-			for _, r := range ht[lk.I[i]] {
+		for i, k := range lkeys {
+			for _, r := range ht[k] {
 				lRows = append(lRows, int32(i))
 				rRows = append(rRows, r)
 			}
 		}
-	case colstore.String:
+		ctx.Charge(label+" [probe]", len(lRows), probeWork(left.N, len(lRows), 8))
+	case lk.Type == colstore.String:
+		// Raw-string path (a mixed dict/plain pair lands here too): both
+		// sides widen to strings, so both sides' key touches are priced
+		// at the materialized string width, whatever form they arrived in.
+		ls, rs := stringKeys(lk, rk)
+		ctx.Charge(label+" [build]", right.N, buildWork(right.N, stringKeyWidth(rs)))
 		ht := make(map[string][]int32, right.N)
 		for i := 0; i < right.N; i++ {
-			ht[rk.S[i]] = append(ht[rk.S[i]], int32(i))
+			ht[rs[i]] = append(ht[rs[i]], int32(i))
 		}
 		for i := 0; i < left.N; i++ {
-			for _, r := range ht[lk.S[i]] {
+			for _, r := range ht[ls[i]] {
 				lRows = append(lRows, int32(i))
 				rRows = append(rRows, r)
 			}
 		}
+		ctx.Charge(label+" [probe]", len(lRows), probeWork(left.N, len(lRows), stringKeyWidth(ls)))
 	default:
 		return nil, fmt.Errorf("exec: cannot join on %v keys", lk.Type)
 	}
-	// Build: one miss per build tuple; probe: one miss per probe tuple.
-	w.TuplesIn = uint64(left.N + right.N)
-	w.TuplesOut = uint64(len(lRows))
-	w.Instructions = uint64(left.N+right.N)*12 + uint64(len(lRows))*4
-	w.CacheMisses = uint64(left.N + right.N)
-	w.BytesReadDRAM = uint64(left.N+right.N) * 8
-	ctx.Charge(j.Label(), len(lRows), w)
 
+	out, gw := joinGather(left, right, rightKey, lRows, rRows)
+	ctx.Charge(label+" [gather]", out.N, gw)
+	return out, nil
+}
+
+// stringKeys widens both key columns to plain strings (the raw-path
+// join; a mixed dict/plain pair lands here too).
+func stringKeys(lk, rk *Col) (ls, rs []string) {
+	lc, rc := lk.Materialized(), rk.Materialized()
+	return lc.S, rc.S
+}
+
+// noCode marks a build-side key with no equivalent in the probe-side
+// code domain: no probe row can ever equal it.
+const noCode = int64(-1) << 62
+
+// codeDomainKeys returns both key columns as int64 slices sharing one
+// equality domain, plus the work of establishing it.  Integer keys pass
+// through; dictionary-coded string keys stay as codes, with the
+// build-side codes translated through the probe-side dictionary once
+// per distinct build value (the PR 3 value→code rewrite, applied to
+// joins) — equal strings then compare as equal 8-byte codes and the
+// join never touches string bytes row-wise.  translated reports whether
+// build keys went through a dictionary translation, i.e. whether the
+// noCode sentinel is meaningful in rkeys.
+func codeDomainKeys(lk, rk *Col) (lkeys, rkeys []int64, translated bool, w energy.Counters) {
+	if lk.Type == colstore.Int64 {
+		return lk.I, rk.I, false, energy.Counters{}
+	}
+	if sameDict(lk.Dict, rk.Dict) {
+		return lk.I, rk.I, false, energy.Counters{}
+	}
+	probe := make(map[string]int64, len(lk.Dict))
+	var dictBytes uint64
+	for code, s := range lk.Dict {
+		probe[s] = int64(code)
+		dictBytes += uint64(len(s))
+	}
+	trans := make([]int64, len(rk.Dict))
+	for code, s := range rk.Dict {
+		dictBytes += uint64(len(s))
+		if pc, ok := probe[s]; ok {
+			trans[code] = pc
+		} else {
+			trans[code] = noCode
+		}
+	}
+	rkeys = make([]int64, len(rk.I))
+	for i, c := range rk.I {
+		rkeys[i] = trans[c]
+	}
+	w = energy.Counters{
+		BytesReadDRAM: dictBytes,
+		CacheMisses:   uint64(len(lk.Dict)+len(rk.Dict)) / 2,
+		Instructions:  uint64(len(lk.Dict)+len(rk.Dict))*8 + uint64(len(rk.I)),
+	}
+	return lk.I, rkeys, true, w
+}
+
+// sameDict reports whether two dictionaries are the same backing slice.
+func sameDict(a, b []string) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// buildWork prices inserting n build tuples of keyBytes-wide keys into a
+// hash table: the key stream in, the table bytes written (slot + row id
+// + chain link), and one latency-bound miss per insert.
+func buildWork(n int, keyBytes float64) energy.Counters {
+	return energy.Counters{
+		TuplesIn:         uint64(n),
+		BytesReadDRAM:    uint64(float64(n) * keyBytes),
+		BytesWrittenDRAM: uint64(n) * 16,
+		CacheMisses:      uint64(n),
+		Instructions:     uint64(n) * 12,
+	}
+}
+
+// probeWork prices probing n tuples yielding matches output pairs: the
+// key stream in and one miss per probe — charged whether or not the
+// probe finds a match, so selective joins stop looking free.
+func probeWork(n, matches int, keyBytes float64) energy.Counters {
+	return energy.Counters{
+		TuplesIn:         uint64(n),
+		TuplesOut:        uint64(matches),
+		BytesReadDRAM:    uint64(float64(n) * keyBytes),
+		BytesWrittenDRAM: uint64(matches) * 8, // the (left, right) row-id pairs
+		CacheMisses:      uint64(n),
+		Instructions:     uint64(n)*8 + uint64(matches)*4,
+	}
+}
+
+// joinGather materializes the join output from the matched row pairs
+// and prices the movement: every output value is read from its input
+// relation and written to the result, with strings costing their bytes.
+// The right join key never reaches the output (it is value-identical to
+// the left key), so it is pruned before the gather rather than copied
+// and dropped.  Dictionary-coded columns pass through as codes
+// (materialized later by the Materialize operator the planner places
+// above the join tree).  Output rows are not charged as TuplesOut here
+// — the probe phase already reported them; gather moves bytes, it does
+// not produce tuples.
+func joinGather(left, right *Relation, rightKey string, lRows, rRows []int32) (*Relation, energy.Counters) {
+	pruned := &Relation{N: right.N}
+	for _, c := range right.Cols {
+		if c.Name != rightKey {
+			pruned.Cols = append(pruned.Cols, c)
+		}
+	}
 	lOut := left.gather(lRows)
-	rOut := right.gather(rRows)
-	out := &Relation{N: len(lRows)}
+	rOut := pruned.gather(rRows)
+	out := mergeJoinColumns(lOut, rOut, rightKey)
+	moved := lOut.Bytes() + rOut.Bytes()
+	ncols := len(out.Cols)
+	w := energy.Counters{
+		BytesReadDRAM:    moved,
+		BytesWrittenDRAM: moved,
+		CacheMisses:      uint64(out.N*ncols) / 4,
+		Instructions:     uint64(out.N*ncols) * 2,
+	}
+	return out, w
+}
+
+// mergeJoinColumns concatenates the gathered sides into one relation:
+// all left columns, then the right columns minus the right join key
+// (value-identical to the left key, whatever it is named).  A right
+// column whose name collides with any output column so far is prefixed
+// with "r_" repeatedly until unique, so a pre-existing "r_<name>" on
+// either side can never be silently overwritten.
+func mergeJoinColumns(lOut, rOut *Relation, rightKey string) *Relation {
+	out := &Relation{N: lOut.N}
 	out.Cols = append(out.Cols, lOut.Cols...)
 	have := map[string]bool{}
 	for _, c := range lOut.Cols {
 		have[c.Name] = true
 	}
 	for _, c := range rOut.Cols {
-		if c.Name == j.RightKey {
+		if c.Name == rightKey {
 			continue // redundant with the left key
 		}
-		if have[c.Name] {
+		for have[c.Name] {
 			c.Name = "r_" + c.Name
 		}
+		have[c.Name] = true
 		out.Cols = append(out.Cols, c)
 	}
-	return out, nil
+	return out
 }

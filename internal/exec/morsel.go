@@ -27,26 +27,26 @@ import (
 // the parallel work units.
 const MorselRows = colstore.SegSize
 
-// runMorsels fans rows [0, n) out to min(Ctx.DOP(), morselCount) workers.
-// work runs once per morsel (m is the morsel index, [lo, hi) its rows)
-// and returns the morsel's result plus the counters it cost; results
-// arrive in results[m] so callers consume them in deterministic morsel
-// order.  Worker counters merge into ctx.Meter once per morsel batch —
-// never per row — and the summed total is returned for the coordinator's
-// trace entry.
-func runMorsels[T any](ctx *Ctx, n int, work func(m, lo, hi int) (T, energy.Counters)) ([]T, energy.Counters) {
-	nm := (n + MorselRows - 1) / MorselRows
-	if nm == 0 {
+// runPool fans tasks [0, n) out to min(Ctx.DOP(), n) workers claiming
+// task indices from an atomic counter.  work runs once per task and
+// returns the task's result plus the counters it cost; results arrive
+// in results[i] so callers consume them in deterministic task order.
+// Worker counters merge into ctx.Meter once per task — never per row —
+// and the summed total is returned for the coordinator's trace entry.
+// It is the shared engine under runMorsels (tasks = row windows) and
+// the partitioned join's build phase (tasks = radix partitions).
+func runPool[T any](ctx *Ctx, n int, work func(task int) (T, energy.Counters)) ([]T, energy.Counters) {
+	if n == 0 {
 		return nil, energy.Counters{}
 	}
 	dop := ctx.DOP()
-	if dop > nm {
-		dop = nm
+	if dop > n {
+		dop = n
 	}
 	if dop < 1 {
 		dop = 1
 	}
-	results := make([]T, nm)
+	results := make([]T, n)
 	workerTotals := make([]energy.Counters, dop)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -55,18 +55,13 @@ func runMorsels[T any](ctx *Ctx, n int, work func(m, lo, hi int) (T, energy.Coun
 		go func(wkr int) {
 			defer wg.Done()
 			for {
-				m := int(next.Add(1)) - 1
-				if m >= nm {
+				i := int(next.Add(1)) - 1
+				if i >= n {
 					return
 				}
-				lo := m * MorselRows
-				hi := lo + MorselRows
-				if hi > n {
-					hi = n
-				}
-				res, w := work(m, lo, hi)
-				results[m] = res
-				ctx.Meter.Add(w) // one merge per morsel batch
+				res, w := work(i)
+				results[i] = res
+				ctx.Meter.Add(w) // one merge per task
 				workerTotals[wkr].Add(w)
 			}
 		}(wkr)
@@ -77,6 +72,21 @@ func runMorsels[T any](ctx *Ctx, n int, work func(m, lo, hi int) (T, energy.Coun
 		total.Add(workerTotals[i])
 	}
 	return results, total
+}
+
+// runMorsels fans rows [0, n) out to the worker pool morsel-wise.  work
+// runs once per morsel (m is the morsel index, [lo, hi) its rows); see
+// runPool for the result-ordering and counter-merging contract.
+func runMorsels[T any](ctx *Ctx, n int, work func(m, lo, hi int) (T, energy.Counters)) ([]T, energy.Counters) {
+	nm := (n + MorselRows - 1) / MorselRows
+	return runPool(ctx, nm, func(m int) (T, energy.Counters) {
+		lo := m * MorselRows
+		hi := lo + MorselRows
+		if hi > n {
+			hi = n
+		}
+		return work(m, lo, hi)
+	})
 }
 
 // ParallelScan is the morsel-driven counterpart of Scan: a full table
@@ -95,6 +105,11 @@ type ParallelScan struct {
 	Table  *colstore.Table
 	Select []string // output columns; empty = all
 	Preds  []expr.Pred
+	// Codes lists string columns to emit in the dictionary code domain
+	// (Col.Dict set, I = codes) instead of materializing strings — the
+	// planner requests it for join keys on sealed tables so the join
+	// runs on 8-byte codes end to end.
+	Codes []string
 }
 
 // Label implements Node.
@@ -139,13 +154,32 @@ func (s *ParallelScan) Run(ctx *Ctx) (*Relation, error) {
 		predCols[i] = c
 	}
 
+	asCode := codeFlags(names, outCols, s.Codes)
 	n := s.Table.Rows()
 	parts, total := runMorsels(ctx, n, func(m, lo, hi int) (*Relation, energy.Counters) {
-		return s.runMorsel(predCols, outCols, names, lo, hi)
+		return s.runMorsel(predCols, outCols, names, asCode, lo, hi)
 	})
-	out := concatParts(names, outCols, parts)
+	out := concatParts(names, outCols, asCode, parts)
 	ctx.Trace(s.Label(), out.N, total)
 	return out, nil
+}
+
+// codeFlags marks which projected columns were requested in the
+// dictionary code domain and are actually servable there (a sealed,
+// order-preserving string column).
+func codeFlags(names []string, outCols []colstore.Column, codes []string) []bool {
+	flags := make([]bool, len(names))
+	for i, name := range names {
+		for _, c := range codes {
+			if c != name {
+				continue
+			}
+			if sc, ok := outCols[i].(*colstore.StringColumn); ok && sc.Ordered() {
+				flags[i] = true
+			}
+		}
+	}
+	return flags
 }
 
 // checkPredType verifies that a predicate literal matches its column.
@@ -170,7 +204,7 @@ func checkPredType(c colstore.Column, p expr.Pred) error {
 }
 
 // runMorsel filters and materializes rows [lo, hi).
-func (s *ParallelScan) runMorsel(predCols, outCols []colstore.Column, names []string, lo, hi int) (*Relation, energy.Counters) {
+func (s *ParallelScan) runMorsel(predCols, outCols []colstore.Column, names []string, asCode []bool, lo, hi int) (*Relation, energy.Counters) {
 	nrows := hi - lo
 	sel := vec.NewBitvec(nrows)
 	sel.SetAll()
@@ -193,49 +227,72 @@ func (s *ParallelScan) runMorsel(predCols, outCols []colstore.Column, names []st
 	rows := sel.Indices()
 	out := &Relation{N: len(rows), Cols: make([]Col, len(names))}
 	for ci, col := range outCols {
-		out.Cols[ci] = gatherCol(col, names[ci], rows, lo)
+		oc, gw := gatherCol(col, names[ci], asCode[ci], rows, lo, hi)
+		out.Cols[ci] = oc
+		w.Add(gw)
 	}
-	w.Add(gatherWork(len(rows), len(names)))
+	w.TuplesOut += uint64(len(rows))
 	return out, w
 }
 
-// gatherCol materializes the selected rows of one stored column (global
-// row = base + r), shared by the serial and morsel scans.
-func gatherCol(col colstore.Column, name string, rows []int32, base int) Col {
+// gatherCol materializes the selected rows of one stored column out of
+// the window [lo, hi) (global row = lo + r), shared by the serial and
+// morsel scans, and prices the physical work.  A fully selected window
+// decodes sealed segments in bulk (DecodeRange streams each compressed
+// segment slice once — the reason join-key extraction is priced per
+// morsel, not per row); sparse selections pay roughly one cache-line
+// touch per value.  asCode emits a string column as dictionary codes.
+// The counters are a pure function of (column, rows, window).
+func gatherCol(col colstore.Column, name string, asCode bool, rows []int32, lo, hi int) (Col, energy.Counters) {
 	oc := Col{Name: name, Type: col.Type()}
+	n := len(rows)
+	dense := n == hi-lo
+	sparse := energy.Counters{CacheMisses: uint64(n) / 4, Instructions: uint64(n) * 2}
 	switch c := col.(type) {
 	case *colstore.IntColumn:
-		oc.I = make([]int64, len(rows))
-		for i, r := range rows {
-			oc.I[i] = c.Get(base + int(r))
+		oc.I = make([]int64, n)
+		if dense {
+			return oc, c.DecodeRange(lo, hi, oc.I)
 		}
+		for i, r := range rows {
+			oc.I[i] = c.Get(lo + int(r))
+		}
+		return oc, sparse
 	case *colstore.FloatColumn:
-		oc.F = make([]float64, len(rows))
+		oc.F = make([]float64, n)
 		for i, r := range rows {
-			oc.F[i] = c.Get(base + int(r))
+			oc.F[i] = c.Get(lo + int(r))
 		}
+		if dense {
+			return oc, energy.Counters{BytesReadDRAM: uint64(n) * 8, Instructions: uint64(n)}
+		}
+		return oc, sparse
 	case *colstore.StringColumn:
-		oc.S = make([]string, len(rows))
-		for i, r := range rows {
-			oc.S[i] = c.Get(base + int(r))
+		if asCode {
+			oc.Dict = c.Dict()
+			oc.I = make([]int64, n)
+			codes := c.CodeColumn()
+			if dense {
+				return oc, codes.DecodeRange(lo, hi, oc.I)
+			}
+			for i, r := range rows {
+				oc.I[i] = codes.Get(lo + int(r))
+			}
+			// Codes gather cheaper than strings: no dictionary deref.
+			return oc, energy.Counters{CacheMisses: uint64(n) / 8, Instructions: uint64(n)}
 		}
+		oc.S = make([]string, n)
+		for i, r := range rows {
+			oc.S[i] = c.Get(lo + int(r))
+		}
+		return oc, sparse
 	}
-	return oc
-}
-
-// gatherWork prices materializing nrows rows across ncols columns.
-// Gathers are random access: roughly one cache-line touch per value.
-func gatherWork(nrows, ncols int) energy.Counters {
-	return energy.Counters{
-		CacheMisses:  uint64(nrows*ncols) / 4,
-		Instructions: uint64(nrows*ncols) * 2,
-		TuplesOut:    uint64(nrows),
-	}
+	return oc, energy.Counters{}
 }
 
 // concatParts stitches per-morsel relations back together in morsel
 // order, restoring the serial scan's ascending row order.
-func concatParts(names []string, outCols []colstore.Column, parts []*Relation) *Relation {
+func concatParts(names []string, outCols []colstore.Column, asCode []bool, parts []*Relation) *Relation {
 	total := 0
 	for _, p := range parts {
 		total += p.N
@@ -243,13 +300,19 @@ func concatParts(names []string, outCols []colstore.Column, parts []*Relation) *
 	out := &Relation{N: total, Cols: make([]Col, len(names))}
 	for ci := range names {
 		oc := Col{Name: names[ci], Type: outCols[ci].Type()}
-		switch oc.Type {
-		case colstore.Int64:
+		switch {
+		case oc.Type == colstore.String && asCode[ci]:
+			oc.Dict = outCols[ci].(*colstore.StringColumn).Dict()
 			oc.I = make([]int64, 0, total)
 			for _, p := range parts {
 				oc.I = append(oc.I, p.Cols[ci].I...)
 			}
-		case colstore.Float64:
+		case oc.Type == colstore.Int64:
+			oc.I = make([]int64, 0, total)
+			for _, p := range parts {
+				oc.I = append(oc.I, p.Cols[ci].I...)
+			}
+		case oc.Type == colstore.Float64:
 			oc.F = make([]float64, 0, total)
 			for _, p := range parts {
 				oc.F = append(oc.F, p.Cols[ci].F...)

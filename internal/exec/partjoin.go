@@ -1,0 +1,415 @@
+package exec
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/colstore"
+	"repro/internal/energy"
+)
+
+// Radix-partitioned morsel-parallel hash join.
+//
+// The serial HashJoin moves every byte of both inputs through one
+// goroutine and one cache-hostile Go map.  ParallelJoin rebuilds the
+// pipeline around the morsel grid of morsel.go:
+//
+//	partition:  the build side is cut into 2^k radix partitions
+//	            morsel-wise on the worker pool — each morsel scatters
+//	            its (key, row) pairs into a partition-ordered chunk —
+//	            and the coordinator stitches the chunks per partition
+//	            in morsel order.
+//	build:      every partition gets its own compact open-addressing
+//	            table (flat int32/int64 arrays, no map), built in
+//	            parallel across partitions; duplicate keys chain in
+//	            ascending build-row order.
+//	probe:      the probe side is walked morsel-wise in row order; a
+//	            probe row's radix bits select its partition, whose
+//	            table is small enough to stay cache-resident — the
+//	            point of partitioning.  Each morsel emits its matched
+//	            (left, right) row pairs locally.
+//	merge:      pair chunks concatenate in morsel order, so the output
+//	            is in probe-row order with build rows ascending within
+//	            duplicates — byte-identical to the serial HashJoin.
+//	gather:     output columns materialize from the matched pairs,
+//	            priced as their own phase.
+//
+// Keys are processed in the compressed domain where possible: integer
+// keys join as-is, dictionary-coded string keys join on their 8-byte
+// codes after translating the build side's codes through the probe
+// side's dictionary once (join.go's codeDomainKeys).  Raw string keys
+// fall back to the serial join, as do tiny inputs where the pool and
+// partitioning overheads cannot pay for themselves.
+//
+// Determinism contract: the morsel grid, the partition count, the
+// per-partition table layout, and every charged counter are functions
+// of the input relations alone — never of the worker count or of
+// scheduling order — so relations AND energy counters are byte-identical
+// at every DOP (TestJoinDOPInvariant), which keeps E-report deltas
+// attributable to plan shape rather than accounting noise.
+
+// ParallelJoinFallbackRows is the combined input size below which
+// ParallelJoin delegates to the serial HashJoin core: the worker pool,
+// the partition pass, and the per-partition tables only pay for
+// themselves once the inputs outgrow the cache anyway.
+const ParallelJoinFallbackRows = 1 << 16
+
+// partTargetRows is the build-rows-per-partition target: a partition's
+// open-addressing table (two int32 and one int64 array at load factor
+// 1/2) stays comfortably inside L2 at this size.
+const partTargetRows = 4096
+
+// maxRadixBits caps the partition fan-out; past 2^10 partitions the
+// scatter pass thrashes more write streams than caches have ways.
+const maxRadixBits = 10
+
+// ParallelJoin is the radix-partitioned, morsel-parallel inner
+// equi-join.  Left is the probe side, Right the build side (the
+// optimizer sizes the build side from catalog statistics).
+type ParallelJoin struct {
+	Left, Right       Node
+	LeftKey, RightKey string
+}
+
+// Label implements Node.
+func (j *ParallelJoin) Label() string {
+	return fmt.Sprintf("ParallelJoin(%s = %s)", j.LeftKey, j.RightKey)
+}
+
+// Kids implements Node.
+func (j *ParallelJoin) Kids() []Node { return []Node{j.Left, j.Right} }
+
+// Run implements Node.
+func (j *ParallelJoin) Run(ctx *Ctx) (*Relation, error) {
+	left, err := j.Left.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := j.Right.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	lk, rk, err := joinKeys(left, right, j.LeftKey, j.RightKey)
+	if err != nil {
+		return nil, err
+	}
+	// Tiny inputs and raw string keys take the serial core; everything
+	// with an int64 equality domain takes the partitioned pipeline.
+	intDomain := lk.Type == colstore.Int64 || (lk.Dict != nil && rk.Dict != nil)
+	if left.N+right.N < ParallelJoinFallbackRows || !intDomain {
+		return serialHashJoin(ctx, j.Label(), left, right, j.LeftKey, j.RightKey)
+	}
+	return j.runPartitioned(ctx, left, right, lk, rk)
+}
+
+// radixBits picks the partition fan-out for a build side of n rows.
+// A pure function of n, so plans charge identically at every DOP.
+func radixBits(n int) int {
+	k := bits.Len(uint(n / partTargetRows))
+	if k < 1 {
+		k = 1
+	}
+	if k > maxRadixBits {
+		k = maxRadixBits
+	}
+	return k
+}
+
+// mix64 is the finalizer-style hash shared by the partition and slot
+// index: partition = top k bits, slot = low bits, so the two never
+// correlate.
+func mix64(x uint64) uint64 {
+	x *= 0x9E3779B97F4A7C15
+	x ^= x >> 29
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 32
+	return x
+}
+
+// partChunk is one morsel's scatter output: partition p's pairs live at
+// keys[off[p]:off[p+1]], in ascending build-row order within the morsel.
+type partChunk struct {
+	off  []int32
+	keys []int64
+	rows []int32
+}
+
+// pairChunk is one probe morsel's matches, in probe-row order.
+type pairChunk struct {
+	l, r []int32
+}
+
+// joinTable is a compact open-addressing hash table over one partition:
+// flat arrays instead of a Go map, one slot per distinct key, duplicate
+// rows chained in insertion (= ascending build-row) order.
+type joinTable struct {
+	mask     uint64
+	slotKey  []int64
+	slotHead []int32 // first entry of the key's chain; -1 = empty slot
+	slotTail []int32
+	rows     []int32 // entry payload: build-side row id
+	next     []int32 // entry chain link; -1 = end
+}
+
+func newJoinTable(n int) *joinTable {
+	size := 4
+	for size < 2*n {
+		size <<= 1
+	}
+	t := &joinTable{
+		mask:     uint64(size - 1),
+		slotKey:  make([]int64, size),
+		slotHead: make([]int32, size),
+		slotTail: make([]int32, size),
+		rows:     make([]int32, 0, n),
+		next:     make([]int32, 0, n),
+	}
+	for i := range t.slotHead {
+		t.slotHead[i] = -1
+	}
+	return t
+}
+
+// insert adds (key, row), returning the linear-probe steps taken (for
+// the instruction counters — a function of the data alone).
+func (t *joinTable) insert(key int64, row int32) int {
+	steps := 0
+	i := mix64(uint64(key)) & t.mask
+	for {
+		steps++
+		if t.slotHead[i] == -1 {
+			e := int32(len(t.rows))
+			t.rows = append(t.rows, row)
+			t.next = append(t.next, -1)
+			t.slotKey[i] = key
+			t.slotHead[i] = e
+			t.slotTail[i] = e
+			return steps
+		}
+		if t.slotKey[i] == key {
+			e := int32(len(t.rows))
+			t.rows = append(t.rows, row)
+			t.next = append(t.next, -1)
+			t.next[t.slotTail[i]] = e
+			t.slotTail[i] = e
+			return steps
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// lookup returns the first entry of key's chain (-1 if absent) plus the
+// probe steps taken.
+func (t *joinTable) lookup(key int64) (int32, int) {
+	steps := 0
+	i := mix64(uint64(key)) & t.mask
+	for {
+		steps++
+		if t.slotHead[i] == -1 {
+			return -1, steps
+		}
+		if t.slotKey[i] == key {
+			return t.slotHead[i], steps
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// runPartitioned executes the partition → build → probe → gather
+// pipeline over an int64 key domain.
+func (j *ParallelJoin) runPartitioned(ctx *Ctx, left, right *Relation, lk, rk *Col) (*Relation, error) {
+	label := j.Label()
+	lkeys, rkeys, translated, tw := codeDomainKeys(lk, rk)
+	if !tw.IsZero() {
+		ctx.Charge(label+" [translate]", 0, tw)
+	}
+
+	kbits := radixBits(right.N)
+	nparts := 1 << kbits
+	shift := 64 - uint(kbits)
+
+	// Partition pass: scatter the build side morsel-wise.
+	chunks, pw := runMorsels(ctx, right.N, func(m, lo, hi int) (partChunk, energy.Counters) {
+		return scatterMorsel(rkeys, translated, lo, hi, nparts, shift)
+	})
+	ctx.Trace(label+" [partition]", right.N, pw)
+
+	// Build pass: one open-addressing table per partition, partitions in
+	// parallel, each consuming its chunk slices in morsel order.
+	tables, bw := runPool(ctx, nparts, func(p int) (*joinTable, energy.Counters) {
+		return buildPartition(chunks, p)
+	})
+	ctx.Trace(label+" [build]", right.N, bw)
+
+	// Probe pass: morsel-wise over the probe side in row order.
+	pairs, qw := runMorsels(ctx, left.N, func(m, lo, hi int) (pairChunk, energy.Counters) {
+		return probeMorsel(lkeys, lo, hi, tables, shift)
+	})
+	matches := 0
+	for _, pc := range pairs {
+		matches += len(pc.l)
+	}
+	ctx.Trace(label+" [probe]", matches, qw)
+
+	// Merge in morsel order: probe-row-major, identical to the serial
+	// join's output order.
+	lRows := make([]int32, 0, matches)
+	rRows := make([]int32, 0, matches)
+	for _, pc := range pairs {
+		lRows = append(lRows, pc.l...)
+		rRows = append(rRows, pc.r...)
+	}
+
+	out, gw := joinGather(left, right, j.RightKey, lRows, rRows)
+	ctx.Charge(label+" [gather]", out.N, gw)
+	return out, nil
+}
+
+// scatterMorsel partitions build rows [lo, hi) into a partition-ordered
+// chunk.  Untranslatable dictionary codes (noCode) match nothing and
+// are dropped here, before any table sees them.
+func scatterMorsel(keys []int64, translated bool, lo, hi, nparts int, shift uint) (partChunk, energy.Counters) {
+	counts := make([]int32, nparts+1)
+	for i := lo; i < hi; i++ {
+		if translated && keys[i] == noCode {
+			continue
+		}
+		counts[mix64(uint64(keys[i]))>>shift+1]++
+	}
+	off := counts
+	for p := 1; p <= nparts; p++ {
+		off[p] += off[p-1]
+	}
+	kept := int(off[nparts])
+	ck := partChunk{off: off, keys: make([]int64, kept), rows: make([]int32, kept)}
+	cursor := make([]int32, nparts)
+	copy(cursor, off[:nparts])
+	for i := lo; i < hi; i++ {
+		if translated && keys[i] == noCode {
+			continue
+		}
+		p := mix64(uint64(keys[i])) >> shift
+		c := cursor[p]
+		ck.keys[c] = keys[i]
+		ck.rows[c] = int32(i)
+		cursor[p] = c + 1
+	}
+	n := uint64(hi - lo)
+	return ck, energy.Counters{
+		TuplesIn:         n,
+		BytesReadDRAM:    n * 8,  // the key stream
+		BytesWrittenDRAM: n * 12, // scattered (key, row) pairs
+		CacheMisses:      n / 4,  // bounded write streams, mostly sequential
+		Instructions:     n * 6,
+	}
+}
+
+// buildPartition builds partition p's table from every morsel chunk in
+// morsel order, keeping duplicate chains in ascending build-row order.
+func buildPartition(chunks []partChunk, p int) (*joinTable, energy.Counters) {
+	total := 0
+	for _, ck := range chunks {
+		total += int(ck.off[p+1] - ck.off[p])
+	}
+	if total == 0 {
+		return nil, energy.Counters{}
+	}
+	t := newJoinTable(total)
+	steps := 0
+	for _, ck := range chunks {
+		for i := ck.off[p]; i < ck.off[p+1]; i++ {
+			steps += t.insert(ck.keys[i], ck.rows[i])
+		}
+	}
+	n := uint64(total)
+	return t, energy.Counters{
+		BytesReadDRAM:    n * 12, // the partition's (key, row) pairs stream back in
+		BytesWrittenDRAM: n * 16, // slot + head/tail + entry writes
+		CacheMisses:      n / 2,  // table is cache-resident: cheaper than a map insert
+		Instructions:     n*10 + uint64(steps)*2,
+	}
+}
+
+// probeMorsel probes rows [lo, hi) of the probe side against the
+// partition tables, emitting matches in probe-row order.
+func probeMorsel(keys []int64, lo, hi int, tables []*joinTable, shift uint) (pairChunk, energy.Counters) {
+	var pc pairChunk
+	steps := 0
+	for i := lo; i < hi; i++ {
+		h := mix64(uint64(keys[i]))
+		t := tables[h>>shift]
+		if t == nil {
+			steps++
+			continue
+		}
+		e, st := t.lookup(keys[i])
+		steps += st
+		for ; e != -1; e = t.next[e] {
+			pc.l = append(pc.l, int32(i))
+			pc.r = append(pc.r, t.rows[e])
+		}
+	}
+	n := uint64(hi - lo)
+	matches := uint64(len(pc.l))
+	return pc, energy.Counters{
+		TuplesIn:         n,
+		TuplesOut:        matches,
+		BytesReadDRAM:    n * 8,       // the key stream
+		BytesWrittenDRAM: matches * 8, // the (left, right) row-id pairs
+		CacheMisses:      n/2 + matches/4,
+		Instructions:     n*8 + matches*4 + uint64(steps),
+	}
+}
+
+// Materialize widens every dictionary-coded column of its input back to
+// plain strings.  The planner places it above a join tree whose scans
+// emitted code-domain keys, so joins run on 8-byte codes end to end and
+// the dictionary is touched exactly once per output value — the last
+// step of the compressed-key pipeline, and the only one that pays
+// string bytes.
+type Materialize struct {
+	Child Node
+}
+
+// Label implements Node.
+func (m *Materialize) Label() string { return "Materialize(dict)" }
+
+// Kids implements Node.
+func (m *Materialize) Kids() []Node { return []Node{m.Child} }
+
+// Run implements Node.
+func (m *Materialize) Run(ctx *Ctx) (*Relation, error) {
+	in, err := m.Child.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{N: in.N, Cols: make([]Col, len(in.Cols))}
+	var w energy.Counters
+	changed := false
+	for ci := range in.Cols {
+		c := &in.Cols[ci]
+		out.Cols[ci] = c.Materialized()
+		if c.Dict != nil {
+			changed = true
+			n := uint64(len(c.I))
+			var strBytes uint64
+			for _, s := range out.Cols[ci].S {
+				strBytes += uint64(len(s)) + 16
+			}
+			w.Add(energy.Counters{
+				BytesReadDRAM:    n * 8, // the code stream
+				BytesWrittenDRAM: strBytes,
+				CacheMisses:      n / 4, // dictionary indirections
+				Instructions:     n * 2,
+			})
+		}
+	}
+	if !changed {
+		return in, nil
+	}
+	// No TuplesIn/TuplesOut: materialization is pure data movement, and
+	// logical row counters must stay storage-blind — a code-domain plan
+	// and a raw plan of the same query charge identical row counters.
+	ctx.Charge(m.Label(), in.N, w)
+	return out, nil
+}

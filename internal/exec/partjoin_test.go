@@ -1,0 +1,311 @@
+package exec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/workload"
+)
+
+// relNode serves a pre-built relation, so join tests can feed exact
+// intermediate shapes without a backing table.
+type relNode struct{ r *Relation }
+
+func (n relNode) Run(*Ctx) (*Relation, error) { return n.r, nil }
+func (n relNode) Label() string               { return "rel" }
+func (n relNode) Kids() []Node                { return nil }
+
+// intRel builds a relation of one BIGINT key column plus a payload.
+func intRel(name string, keys []int64) *Relation {
+	payload := make([]int64, len(keys))
+	for i := range payload {
+		payload[i] = int64(i) * 3
+	}
+	return &Relation{
+		N: len(keys),
+		Cols: []Col{
+			{Name: name, Type: colstore.Int64, I: keys},
+			{Name: name + "_payload", Type: colstore.Int64, I: payload},
+		},
+	}
+}
+
+// runJoin executes a join node at the given DOP and returns the result
+// plus the total charged counters.
+func runJoin(t *testing.T, n Node, dop int) (*Relation, *Ctx) {
+	t.Helper()
+	ctx := NewCtx()
+	ctx.Parallelism = dop
+	rel, err := n.Run(ctx)
+	must(t, err)
+	return rel, ctx
+}
+
+// TestParallelJoinMatchesSerial drives the partitioned pipeline well
+// above the fallback threshold and asserts the relation is byte-identical
+// to the serial HashJoin over the same inputs.
+func TestParallelJoinMatchesSerial(t *testing.T) {
+	lkeys := workload.UniformInts(11, 90_000, 12_000)
+	rkeys := workload.UniformInts(12, 9_000, 12_000)
+	left, right := intRel("lk", lkeys), intRel("rk", rkeys)
+
+	serial, _ := runJoin(t, &HashJoin{Left: relNode{left}, Right: relNode{right}, LeftKey: "lk", RightKey: "rk"}, 1)
+	par, _ := runJoin(t, &ParallelJoin{Left: relNode{left}, Right: relNode{right}, LeftKey: "lk", RightKey: "rk"}, 4)
+	if serial.N == 0 {
+		t.Fatal("degenerate test: no matches")
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("partitioned join diverges from serial HashJoin")
+	}
+}
+
+// TestJoinDOPInvariant asserts relations AND charged counters are
+// byte-identical across degrees of parallelism.  (The CI container is
+// 1-CPU: invariance is the contract here, never wall-clock speedup.)
+func TestJoinDOPInvariant(t *testing.T) {
+	lkeys := workload.UniformInts(13, 80_000, 7_000)
+	rkeys := workload.UniformInts(14, 20_000, 7_000)
+	left, right := intRel("lk", lkeys), intRel("rk", rkeys)
+
+	join := func(dop int) (*Relation, *Ctx) {
+		return runJoin(t, &ParallelJoin{Left: relNode{left}, Right: relNode{right}, LeftKey: "lk", RightKey: "rk"}, dop)
+	}
+	base, baseCtx := join(1)
+	for _, dop := range []int{2, 8} {
+		rel, ctx := join(dop)
+		if !reflect.DeepEqual(rel, base) {
+			t.Fatalf("DOP %d relation differs from DOP 1", dop)
+		}
+		if ctx.Meter.Snapshot() != baseCtx.Meter.Snapshot() {
+			t.Fatalf("DOP %d counters differ from DOP 1:\n%+v\nvs\n%+v",
+				dop, ctx.Meter.Snapshot(), baseCtx.Meter.Snapshot())
+		}
+	}
+}
+
+// TestParallelJoinEmptySides covers an empty build side (every probe
+// misses) and an empty probe side, both above the fallback threshold.
+func TestParallelJoinEmptySides(t *testing.T) {
+	big := intRel("lk", workload.UniformInts(15, 70_000, 1000))
+	empty := intRel("rk", nil)
+	rel, _ := runJoin(t, &ParallelJoin{Left: relNode{big}, Right: relNode{empty}, LeftKey: "lk", RightKey: "rk"}, 4)
+	if rel.N != 0 {
+		t.Fatalf("join against empty build side produced %d rows", rel.N)
+	}
+	if len(rel.Cols) != 3 {
+		t.Fatalf("empty join must keep the output schema, got %d cols", len(rel.Cols))
+	}
+	bigR := intRel("rk", workload.UniformInts(16, 70_000, 1000))
+	emptyL := intRel("lk", nil)
+	rel, _ = runJoin(t, &ParallelJoin{Left: relNode{emptyL}, Right: relNode{bigR}, LeftKey: "lk", RightKey: "rk"}, 4)
+	if rel.N != 0 {
+		t.Fatalf("join with empty probe side produced %d rows", rel.N)
+	}
+}
+
+// TestParallelJoinAllDuplicateKeys is the cross-product blowup: every
+// key identical, so the output is |probe| × |build| and every build row
+// lands in one radix partition (maximal skew).
+func TestParallelJoinAllDuplicateKeys(t *testing.T) {
+	lkeys := make([]int64, 66_000)
+	rkeys := make([]int64, 9)
+	for i := range lkeys {
+		lkeys[i] = 7
+	}
+	for i := range rkeys {
+		rkeys[i] = 7
+	}
+	left, right := intRel("lk", lkeys), intRel("rk", rkeys)
+	rel, _ := runJoin(t, &ParallelJoin{Left: relNode{left}, Right: relNode{right}, LeftKey: "lk", RightKey: "rk"}, 4)
+	if rel.N != len(lkeys)*len(rkeys) {
+		t.Fatalf("cross-product join produced %d rows, want %d", rel.N, len(lkeys)*len(rkeys))
+	}
+	// Build rows must cycle in ascending order within each probe row.
+	rp, _ := rel.Col("rk_payload")
+	for i := 0; i < len(rkeys); i++ {
+		if rp.I[i] != int64(i)*3 {
+			t.Fatalf("duplicate chain out of order at %d: %d", i, rp.I[i])
+		}
+	}
+	serial, _ := runJoin(t, &HashJoin{Left: relNode{left}, Right: relNode{right}, LeftKey: "lk", RightKey: "rk"}, 1)
+	if !reflect.DeepEqual(serial, rel) {
+		t.Fatal("blowup join diverges from serial HashJoin")
+	}
+}
+
+// TestParallelJoinSkewedPartitions joins on a handful of distinct keys,
+// leaving nearly every radix partition empty and a few heavily loaded.
+// The build side stays small so the near-cross-product output does not.
+func TestParallelJoinSkewedPartitions(t *testing.T) {
+	lkeys := workload.UniformInts(17, 80_000, 5)
+	rkeys := workload.UniformInts(18, 30, 3)
+	left, right := intRel("lk", lkeys), intRel("rk", rkeys)
+	serial, _ := runJoin(t, &HashJoin{Left: relNode{left}, Right: relNode{right}, LeftKey: "lk", RightKey: "rk"}, 1)
+	par, parCtx := runJoin(t, &ParallelJoin{Left: relNode{left}, Right: relNode{right}, LeftKey: "lk", RightKey: "rk"}, 8)
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("skewed join diverges from serial HashJoin")
+	}
+	par2, par2Ctx := runJoin(t, &ParallelJoin{Left: relNode{left}, Right: relNode{right}, LeftKey: "lk", RightKey: "rk"}, 1)
+	if !reflect.DeepEqual(par, par2) || parCtx.Meter.Snapshot() != par2Ctx.Meter.Snapshot() {
+		t.Fatal("skewed join not DOP-invariant")
+	}
+}
+
+// dictTables builds a fact and a dim table over overlapping-but-different
+// string dictionaries (some dim names never referenced, some fact names
+// absent from dim), returning sealed or raw copies.
+func dictTables(t *testing.T, nFact, nDim int, seal bool) (fact, dim *colstore.Table) {
+	t.Helper()
+	names := make([]string, nDim+40)
+	for i := range names {
+		names[i] = "cust" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+	}
+	fact = colstore.NewTable("fact", colstore.Schema{
+		{Name: "custname", Type: colstore.String},
+		{Name: "amount", Type: colstore.Int64},
+	})
+	rng := workload.NewRNG(99)
+	for i := 0; i < nFact; i++ {
+		// Drawn from a superset of dim's names: some fact rows dangle.
+		must(t, fact.AppendRow(names[rng.Intn(len(names))], int64(i)))
+	}
+	dim = colstore.NewTable("dim", colstore.Schema{
+		{Name: "name", Type: colstore.String},
+		{Name: "score", Type: colstore.Int64},
+	})
+	for i := 0; i < nDim; i++ {
+		must(t, dim.AppendRow(names[i], int64(i*11)))
+	}
+	if seal {
+		must(t, fact.Seal())
+		must(t, dim.Seal())
+	}
+	return fact, dim
+}
+
+// TestParallelJoinDictKeys joins dictionary-coded string keys whose
+// dictionaries differ between the tables, asserting the compressed-key
+// pipeline returns the raw string join's exact relation while streaming
+// strictly fewer DRAM bytes.
+func TestParallelJoinDictKeys(t *testing.T) {
+	const nFact, nDim = 70_000, 600
+	sealedFact, sealedDim := dictTables(t, nFact, nDim, true)
+	rawFact, rawDim := dictTables(t, nFact, nDim, false)
+
+	coded := &Materialize{Child: &ParallelJoin{
+		Left:    &Scan{Table: sealedFact, Codes: []string{"custname"}},
+		Right:   &Scan{Table: sealedDim, Codes: []string{"name"}},
+		LeftKey: "custname", RightKey: "name",
+	}}
+	raw := &HashJoin{
+		Left:    &Scan{Table: rawFact},
+		Right:   &Scan{Table: rawDim},
+		LeftKey: "custname", RightKey: "name",
+	}
+	codedRel, codedCtx := runJoin(t, coded, 4)
+	rawRel, rawCtx := runJoin(t, raw, 1)
+	if codedRel.N == 0 || codedRel.N == nFact {
+		t.Fatalf("degenerate join cardinality %d", codedRel.N)
+	}
+	if !reflect.DeepEqual(rawRel, codedRel) {
+		t.Fatal("dictionary-coded join diverges from raw string join")
+	}
+	cb := codedCtx.Meter.Snapshot().BytesReadDRAM
+	rb := rawCtx.Meter.Snapshot().BytesReadDRAM
+	if cb >= rb {
+		t.Fatalf("compressed-key join must stream fewer DRAM bytes: coded %d vs raw %d", cb, rb)
+	}
+	// And the coded pipeline is DOP-invariant like every morsel operator.
+	codedRel2, codedCtx2 := runJoin(t, coded, 1)
+	if !reflect.DeepEqual(codedRel, codedRel2) || codedCtx.Meter.Snapshot() != codedCtx2.Meter.Snapshot() {
+		t.Fatal("dictionary-coded join not DOP-invariant")
+	}
+}
+
+// TestMixedDictPlainKeysFallBack joins a dict-coded key column against a
+// plain string key (only one side sealed): the join must still return
+// the exact string-join relation via the serial fallback.
+func TestMixedDictPlainKeysFallBack(t *testing.T) {
+	const nFact, nDim = 70_000, 600
+	sealedFact, _ := dictTables(t, nFact, nDim, true)
+	rawFact, rawDim := dictTables(t, nFact, nDim, false)
+
+	mixed := &Materialize{Child: &ParallelJoin{
+		Left:    &Scan{Table: sealedFact, Codes: []string{"custname"}},
+		Right:   &Scan{Table: rawDim},
+		LeftKey: "custname", RightKey: "name",
+	}}
+	baseline := &HashJoin{
+		Left:    &Scan{Table: rawFact},
+		Right:   &Scan{Table: rawDim},
+		LeftKey: "custname", RightKey: "name",
+	}
+	mixedRel, _ := runJoin(t, mixed, 4)
+	baseRel, _ := runJoin(t, baseline, 1)
+	if !reflect.DeepEqual(baseRel, mixedRel) {
+		t.Fatal("mixed dict/plain key join diverges from string join")
+	}
+}
+
+// TestJoinRenameCollisionProof covers the duplicate-column rename: the
+// left side already carries both "name" and "r_name", so the right
+// side's "name" must escape to "r_r_name" instead of silently colliding.
+func TestJoinRenameCollisionProof(t *testing.T) {
+	left := &Relation{N: 2, Cols: []Col{
+		{Name: "k", Type: colstore.Int64, I: []int64{1, 2}},
+		{Name: "name", Type: colstore.String, S: []string{"l1", "l2"}},
+		{Name: "r_name", Type: colstore.String, S: []string{"x1", "x2"}},
+	}}
+	right := &Relation{N: 2, Cols: []Col{
+		{Name: "k2", Type: colstore.Int64, I: []int64{1, 2}},
+		{Name: "name", Type: colstore.String, S: []string{"r1", "r2"}},
+	}}
+	rel, _ := runJoin(t, &HashJoin{Left: relNode{left}, Right: relNode{right}, LeftKey: "k", RightKey: "k2"}, 1)
+	want := []string{"k", "name", "r_name", "r_r_name"}
+	got := rel.ColNames()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("join columns %v, want %v", got, want)
+	}
+	// The right join key (named differently from the left) is deduped,
+	// and the renamed column still carries the right side's values.
+	rr, _ := rel.Col("r_r_name")
+	if rr.S[0] != "r1" || rr.S[1] != "r2" {
+		t.Fatalf("renamed right column lost its values: %v", rr.S)
+	}
+}
+
+// TestJoinPhaseCharges asserts build, probe, and gather are charged as
+// separate operator reports with real byte movement — the E-report
+// undercounting fix.
+func TestJoinPhaseCharges(t *testing.T) {
+	lkeys := workload.UniformInts(19, 80_000, 9_000)
+	rkeys := workload.UniformInts(20, 9_000, 9_000)
+	left, right := intRel("lk", lkeys), intRel("rk", rkeys)
+	for name, node := range map[string]Node{
+		"serial":      &HashJoin{Left: relNode{left}, Right: relNode{right}, LeftKey: "lk", RightKey: "rk"},
+		"partitioned": &ParallelJoin{Left: relNode{left}, Right: relNode{right}, LeftKey: "lk", RightKey: "rk"},
+	} {
+		_, ctx := runJoin(t, node, 2)
+		phases := map[string]bool{}
+		for _, op := range ctx.OpReports {
+			for _, ph := range []string{"[partition]", "[build]", "[probe]", "[gather]"} {
+				if strings.Contains(op.Label, ph) {
+					phases[ph] = true
+					if op.Work.BytesReadDRAM == 0 && op.Work.BytesWrittenDRAM == 0 {
+						t.Errorf("%s: phase %s charged no DRAM movement", name, ph)
+					}
+				}
+			}
+		}
+		for _, ph := range []string{"[build]", "[probe]", "[gather]"} {
+			if !phases[ph] {
+				t.Errorf("%s: phase %s missing from OpReports", name, ph)
+			}
+		}
+		if name == "partitioned" && !phases["[partition]"] {
+			t.Error("partitioned: partition pass missing from OpReports")
+		}
+	}
+}

@@ -10,12 +10,14 @@
 // A plan is driven by exactly one goroutine: Node.Run is never called
 // concurrently on the same tree or with the same Ctx, and every serial
 // operator (Scan, Filter, Project, HashJoin, Sort, Limit, Exchange,
-// AdaptiveFilter) runs entirely on that goroutine.  The morsel-driven
-// operators — ParallelScan, and HashAgg above ParallelAggRows input rows
-// — fan work out to Ctx.DOP() internal workers but present the same
-// single-goroutine interface: they return only after all workers have
-// joined, and their results and charged counters are byte-identical at
-// every degree of parallelism (see morsel.go).
+// AdaptiveFilter, Materialize) runs entirely on that goroutine.  The
+// morsel-driven operators — ParallelScan, HashAgg above ParallelAggRows
+// input rows, and ParallelJoin above ParallelJoinFallbackRows combined
+// input rows — fan work out to Ctx.DOP() internal workers but present
+// the same single-goroutine interface: they return only after all
+// workers have joined, and their results and charged counters are
+// byte-identical at every degree of parallelism (see morsel.go and
+// partjoin.go).
 //
 // The only Ctx member those workers may touch is Meter, which is
 // mutex-guarded.  Charging must stay coarse: serial operators call
@@ -35,25 +37,56 @@ import (
 )
 
 // Col is one materialized column of an intermediate result.  Exactly one
-// of I/F/S is non-nil, matching Type.
+// of I/F/S is non-nil, matching Type — except for the dictionary-coded
+// form of a string column: when Dict is non-nil, Type is String, S is
+// nil, and I holds dense codes into Dict (I[i] represents Dict[I[i]]).
+// Scans produce that form on request (Scan.Codes) so equi-joins can
+// hash, partition, and compare 8-byte codes instead of string bytes;
+// the planner caps such plans with a Materialize operator, so every
+// other operator and every query result still sees plain strings.
 type Col struct {
 	Name string
 	Type colstore.Type
 	I    []int64
 	F    []float64
 	S    []string
+	Dict []string // code → string dictionary; nil for plain columns
+}
+
+// IsDict reports whether the column is in dictionary-coded form.
+func (c *Col) IsDict() bool { return c.Dict != nil }
+
+// Str returns row i of a string column, resolving dictionary codes.
+func (c *Col) Str(i int) string {
+	if c.Dict != nil {
+		return c.Dict[c.I[i]]
+	}
+	return c.S[i]
 }
 
 // Len returns the column's row count.
 func (c *Col) Len() int {
-	switch c.Type {
-	case colstore.Int64:
+	switch {
+	case c.Type == colstore.Int64 || c.Dict != nil:
 		return len(c.I)
-	case colstore.Float64:
+	case c.Type == colstore.Float64:
 		return len(c.F)
 	default:
 		return len(c.S)
 	}
+}
+
+// Materialized returns the column with dictionary codes widened to
+// plain strings (a copy when coded, the column itself when plain).
+func (c *Col) Materialized() Col {
+	if c.Dict == nil {
+		return *c
+	}
+	out := Col{Name: c.Name, Type: colstore.String, S: make([]string, len(c.I))}
+	for i, code := range c.I {
+		out.S[i] = c.Dict[code]
+	}
+	return out
 }
 
 // Relation is a materialized intermediate result.
@@ -101,9 +134,12 @@ func (r *Relation) Bytes() uint64 {
 	var b uint64
 	for i := range r.Cols {
 		c := &r.Cols[i]
-		switch c.Type {
-		case colstore.Int64, colstore.Float64:
+		switch {
+		case c.Type == colstore.Int64 || c.Type == colstore.Float64:
 			b += uint64(c.Len()) * 8
+		case c.Dict != nil:
+			// Codes only: the dictionary belongs to the base column.
+			b += uint64(len(c.I)) * 8
 		default:
 			for _, s := range c.S {
 				b += uint64(len(s)) + 16
@@ -118,9 +154,16 @@ func (r *Relation) Bytes() uint64 {
 // and the distributed shipping strategies (internal/dist) share this one
 // convention so wire accounting stays comparable across experiments.
 func (c *Col) WireBytes() uint64 {
-	switch c.Type {
-	case colstore.Int64, colstore.Float64:
+	switch {
+	case c.Type == colstore.Int64 || c.Type == colstore.Float64:
 		return uint64(c.Len()) * 8
+	case c.Dict != nil:
+		// Shipping a coded column means shipping codes plus dictionary.
+		b := uint64(len(c.I)) * 8
+		for _, s := range c.Dict {
+			b += uint64(len(s)) + 2
+		}
+		return b
 	default:
 		var b uint64
 		for _, s := range c.S {
@@ -135,14 +178,16 @@ func (r *Relation) gather(rows []int32) *Relation {
 	out := &Relation{N: len(rows), Cols: make([]Col, len(r.Cols))}
 	for ci := range r.Cols {
 		src := &r.Cols[ci]
-		dst := Col{Name: src.Name, Type: src.Type}
-		switch src.Type {
-		case colstore.Int64:
+		dst := Col{Name: src.Name, Type: src.Type, Dict: src.Dict}
+		switch {
+		case src.Type == colstore.Int64 || src.Dict != nil:
+			// Dictionary-coded string columns gather their 8-byte codes;
+			// the shared dictionary rides along untouched.
 			dst.I = make([]int64, len(rows))
 			for i, row := range rows {
 				dst.I[i] = src.I[row]
 			}
-		case colstore.Float64:
+		case src.Type == colstore.Float64:
 			dst.F = make([]float64, len(rows))
 			for i, row := range rows {
 				dst.F[i] = src.F[row]
@@ -169,7 +214,7 @@ func (r *Relation) Row(i int) []any {
 		case colstore.Float64:
 			out[ci] = c.F[i]
 		default:
-			out[ci] = c.S[i]
+			out[ci] = c.Str(i)
 		}
 	}
 	return out

@@ -38,6 +38,9 @@ type Scan struct {
 	Select []string // output columns; empty = all
 	Preds  []expr.Pred
 	Access AccessSpec
+	// Codes lists string columns to emit in the dictionary code domain
+	// (see ParallelScan.Codes); the planner requests it for join keys.
+	Codes []string
 }
 
 // Label implements Node.
@@ -230,15 +233,23 @@ func (s *Scan) materialize(ctx *Ctx, rows []int32) (*Relation, error) {
 			names = append(names, d.Name)
 		}
 	}
-	out := &Relation{N: len(rows), Cols: make([]Col, 0, len(names))}
-	for _, name := range names {
+	outCols := make([]colstore.Column, len(names))
+	for i, name := range names {
 		col, err := s.Table.Column(name)
 		if err != nil {
 			return nil, err
 		}
-		out.Cols = append(out.Cols, gatherCol(col, name, rows, 0))
+		outCols[i] = col
 	}
-	ctx.Charge("materialize", len(rows), gatherWork(len(rows), len(names)))
+	asCode := codeFlags(names, outCols, s.Codes)
+	out := &Relation{N: len(rows), Cols: make([]Col, 0, len(names))}
+	w := energy.Counters{TuplesOut: uint64(len(rows))}
+	for i, name := range names {
+		oc, gw := gatherCol(outCols[i], name, asCode[i], rows, 0, s.Table.Rows())
+		out.Cols = append(out.Cols, oc)
+		w.Add(gw)
+	}
+	ctx.Charge("materialize", len(rows), w)
 	return out, nil
 }
 

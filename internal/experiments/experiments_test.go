@@ -11,8 +11,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("expected 19 experiments (E1-E14 + extensions E15-E19), have %d", len(all))
+	if len(all) != 20 {
+		t.Fatalf("expected 20 experiments (E1-E14 + extensions E15-E20), have %d", len(all))
 	}
 	for i, e := range all {
 		if want := fmt.Sprintf("E%d", i+1); e.ID != want {
@@ -385,6 +385,29 @@ func TestE19Shape(t *testing.T) {
 		if (r.Codec == "rle" || r.Codec == "delta") && r.RawBytes < 4*r.CompBytes {
 			t.Errorf("%s %s sel=%.2f: expected >=4x byte reduction, got %d vs %d",
 				r.Data, r.Codec, r.Selectivity, r.RawBytes, r.CompBytes)
+		}
+	}
+}
+
+func TestE20Shape(t *testing.T) {
+	// 300k + 30k rows clears the planner's partitioned-join threshold, so
+	// the sweep exercises the real radix pipeline.  E20Sweep itself fails
+	// if any DOP's relation or counters diverge, if the raw and
+	// code-domain paths return different relations, or if the sealed
+	// path fails to stream strictly fewer DRAM bytes.
+	rows, err := E20Sweep(300_000, 30_000, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("want 8 (path, DOP) points, have %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Rows == 0 {
+			t.Errorf("%s DOP %d produced no rows", r.Path, r.DOP)
+		}
+		if r.Bytes == 0 || r.J == 0 {
+			t.Errorf("%s DOP %d charged no movement/energy", r.Path, r.DOP)
 		}
 	}
 }

@@ -91,6 +91,65 @@ func (cm *CostModel) Price(w energy.Counters, simTime time.Duration) Cost {
 	return Cost{Time: total, Energy: b.Total(), Work: w}
 }
 
+// RawStringKeyBytes is the nominal DRAM bytes one raw string key touch
+// moves during join hashing (bytes plus header) when the catalog has no
+// better figure; dictionary codes and integers move exactly 8.
+const RawStringKeyBytes = 24
+
+// EstimateHashJoin prices a hash join of probeRows × buildRows tuples
+// yielding outRows, with keyBytes-wide key touches, mirroring the phase
+// accounting inside internal/exec (join.go, partjoin.go) so estimated
+// and measured join costs share the same crossovers:
+//
+//   - partitioned: a radix partition pass streams the build keys and
+//     scatters (key, row) pairs; per-partition table builds and probes
+//     then run cache-resident, halving the latency-bound misses —
+//     that miss discount is what the partition pass buys.
+//   - serial: no partition pass, but every build insert and every probe
+//     is a potential cache miss against one large table.
+//
+// ncols is the output width for the gather phase.  The byte totals feed
+// PlanInfo.Joins (partition + probe bytes) and, through PlanInfo.Est,
+// the scheduler's DOP pricing.
+func EstimateHashJoin(probeRows, buildRows, outRows, keyBytes float64, ncols int, partitioned bool) energy.Counters {
+	var w energy.Counters
+	if partitioned {
+		// Partition pass: build keys in, scattered pairs out.  (The
+		// partitioned operator only runs int64 key domains, so keyBytes
+		// is 8 in practice; honor the parameter regardless.)
+		w.BytesReadDRAM += uint64(buildRows * keyBytes)
+		w.BytesWrittenDRAM += uint64(buildRows * 12)
+		w.CacheMisses += uint64(buildRows / 4)
+		w.Instructions += uint64(buildRows * 6)
+		// Build: pairs stream back in, table writes, resident misses.
+		w.BytesReadDRAM += uint64(buildRows * 12)
+		w.BytesWrittenDRAM += uint64(buildRows * 16)
+		w.CacheMisses += uint64(buildRows / 2)
+		w.Instructions += uint64(buildRows * 12)
+		// Probe: resident tables miss half as often.
+		w.BytesReadDRAM += uint64(probeRows * keyBytes)
+		w.CacheMisses += uint64(probeRows / 2)
+	} else {
+		w.BytesReadDRAM += uint64(buildRows * keyBytes)
+		w.BytesWrittenDRAM += uint64(buildRows * 16)
+		w.CacheMisses += uint64(buildRows)
+		w.Instructions += uint64(buildRows * 12)
+		w.BytesReadDRAM += uint64(probeRows * keyBytes)
+		w.CacheMisses += uint64(probeRows)
+	}
+	w.BytesWrittenDRAM += uint64(outRows * 8)
+	w.Instructions += uint64(probeRows*8 + outRows*4)
+	// Gather: every output value read and written once.
+	moved := uint64(outRows * float64(ncols) * 8)
+	w.BytesReadDRAM += moved
+	w.BytesWrittenDRAM += moved
+	w.CacheMisses += uint64(outRows * float64(ncols) / 4)
+	w.Instructions += uint64(outRows * float64(ncols) * 2)
+	w.TuplesIn = uint64(probeRows + buildRows)
+	w.TuplesOut = uint64(outRows)
+	return w
+}
+
 // PickUnderPowerCap returns the index of the best alternative under a
 // power cap: the fastest plan whose average power fits the cap, or — if
 // none fits — the lowest-power plan.  This is the decision surface of the

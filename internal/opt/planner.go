@@ -56,6 +56,12 @@ type Query struct {
 // worker-pool launch and merge overheads outweigh the morsel win.
 const ParallelScanRows = 1 << 18
 
+// ParallelJoinRows is the combined estimated input cardinality at which
+// the planner swaps the serial HashJoin for the radix-partitioned
+// exec.ParallelJoin (which keeps its own runtime tiny-input fallback for
+// estimation misses).
+const ParallelJoinRows = 1 << 18
+
 // TableStorageInfo reports the storage-format axis of one scanned table:
 // how well its sealed segments compress and how many physical bytes the
 // planner expects the chosen access path to stream.
@@ -64,6 +70,24 @@ type TableStorageInfo struct {
 	StoredBytes  uint64  // compressed footprint of the base table
 	RawBytes     uint64  // uncompressed footprint
 	EstScanBytes uint64  // estimated DRAM bytes the chosen access path streams
+}
+
+// JoinPlanInfo reports one join decision: the sides (probe = outer,
+// build = hashed), whether the radix-partitioned operator was chosen,
+// whether the keys run in the dictionary code domain, and the estimated
+// partition-pass and probe-pass DRAM bytes from the cost model — the
+// numbers that let E-reports attribute join energy to its phases before
+// the query runs.
+type JoinPlanInfo struct {
+	Probe, Build      string // table name; "⋈" for an intermediate result
+	LeftKey, RightKey string
+	Partitioned       bool
+	CodeDomain        bool
+	EstProbeRows      float64
+	EstBuildRows      float64
+	EstOutRows        float64
+	PartitionBytes    uint64 // estimated bytes moved by the radix scatter
+	ProbeBytes        uint64 // estimated bytes streamed by the probe pass
 }
 
 // PlanInfo reports what the planner decided.
@@ -76,6 +100,15 @@ type PlanInfo struct {
 	// sealed segments and the estimated bytes this plan streams —
 	// the storage-format axis of the energy model.
 	Storage map[string]TableStorageInfo
+	// Joins lists every join in execution order with its side, operator,
+	// and byte-estimate decisions.
+	Joins []JoinPlanInfo
+	// JoinOrder is the table order the join-ordering pass chose (empty
+	// when the query has fewer than two joins or the pass was skipped);
+	// JoinOrderExact reports whether the exact DP solved it, as opposed
+	// to the greedy heuristic past opt.DPLimit tables.
+	JoinOrder      []string
+	JoinOrderExact bool
 }
 
 // Plan lowers the logical query onto the physical operator tree, choosing
@@ -147,7 +180,7 @@ func (c *Catalog) Plan(q *Query, cm *CostModel, obj Objective) (exec.Node, *Plan
 		}
 	}
 
-	scan := func(table string) (exec.Node, error) {
+	scan := func(table string, codes []string) (exec.Node, error) {
 		preds := predsOf[table]
 		var sel []string
 		for col := range needed[table] {
@@ -179,21 +212,170 @@ func (c *Catalog) Plan(q *Query, cm *CostModel, obj Objective) (exec.Node, *Plan
 		// stays serial: its random point reads don't morselize).
 		if choice.Spec.Kind == exec.FullScan && tab.Rows() >= ParallelScanRows {
 			info.Parallel = true
-			return &exec.ParallelScan{Table: tab, Select: sel, Preds: preds}, nil
+			return &exec.ParallelScan{Table: tab, Select: sel, Preds: preds, Codes: codes}, nil
 		}
-		return &exec.Scan{Table: tab, Select: sel, Preds: preds, Access: choice.Spec}, nil
+		return &exec.Scan{Table: tab, Select: sel, Preds: preds, Access: choice.Spec, Codes: codes}, nil
 	}
 
-	root, err := scan(q.From)
+	// Estimated post-predicate cardinality per table, for join ordering
+	// and build-side sizing.
+	estRows := func(table string) float64 {
+		ts, err := c.Stats(table)
+		if err != nil {
+			return 0
+		}
+		rows := float64(ts.Rows)
+		for _, p := range predsOf[table] {
+			rows *= ts.Selectivity(p)
+		}
+		return rows
+	}
+
+	// Join ordering, side sizing, and operator/key-domain selection all
+	// happen before any scan node is built, so code-domain key requests
+	// can reach the owning scans.  Reordering and side swaps change the
+	// output column order, so they only run when the query's output
+	// shape is pinned by an explicit SELECT list or a GROUP BY.
+	shapeFixed := len(q.Select) > 0 || len(q.GroupBy) > 0
+	first, seq := c.orderJoins(q, tables, estRows, shapeFixed, info)
+
+	// Columns the join output must keep: everything the SELECT list,
+	// GROUP BY, ORDER BY, or a later join's keys reference.  The join
+	// operators dedupe the (value-identical) right key column out of
+	// their output, so side choices must never make a referenced column
+	// the dropped one.
+	outRefs := map[string]bool{}
+	for _, s := range q.Select {
+		if s.Col != "" {
+			outRefs[s.Col] = true
+		}
+	}
+	for _, g := range q.GroupBy {
+		outRefs[g] = true
+	}
+	for _, k := range q.OrderBy {
+		if _, err := c.ownerOf(k.Col, tables); err == nil {
+			outRefs[k.Col] = true
+		}
+	}
+
+	type joinDecision struct {
+		pj                   plannedJoin
+		swap                 bool // accumulated side becomes the build side
+		partitioned          bool
+		codeDomain           bool
+		probeRows, buildRows float64
+		outRows              float64
+		ncols                int // output width, for the gather estimate
+	}
+	codesOf := map[string][]string{}
+	decisions := make([]joinDecision, 0, len(seq))
+	accRows := estRows(first)
+	accCols := len(needed[first])
+	for i, pj := range seq {
+		d := joinDecision{pj: pj, probeRows: accRows, buildRows: estRows(pj.table)}
+		// Build-side sizing: hash the smaller input.  Then veto any
+		// orientation whose deduped right key is still referenced
+		// downstream (by the output or a later join).
+		d.swap = shapeFixed && d.probeRows < d.buildRows
+		dropProtected := func(col string) bool {
+			if outRefs[col] {
+				return true
+			}
+			for _, later := range seq[i+1:] {
+				if later.leftCol == col || later.rightCol == col {
+					return true
+				}
+			}
+			return false
+		}
+		// A query referencing BOTH key columns by name cannot be served —
+		// the join always dedupes one — and fails in Project with a clear
+		// error, exactly as it did before side sizing existed; the veto
+		// guarantees sizing never breaks a query that was servable.
+		if d.swap && dropProtected(pj.leftCol) {
+			d.swap = false
+		} else if shapeFixed && !d.swap && dropProtected(pj.rightCol) && !dropProtected(pj.leftCol) {
+			d.swap = true
+		}
+		if d.swap {
+			d.probeRows, d.buildRows = d.buildRows, d.probeRows
+		}
+		d.outRows = clampCard(d.probeRows * d.buildRows * pj.sel)
+		accCols += len(needed[pj.table])
+		d.ncols = accCols
+		// Dictionary-coded string keys join as 8-byte codes when both
+		// owning columns are sealed with order-preserving dictionaries.
+		// The partitioned operator needs an int64 equality domain —
+		// integer keys or dictionary codes; raw string keys would take
+		// its serial fallback anyway, so they plan (and are priced) as
+		// the serial join.
+		sizeOK := d.probeRows+d.buildRows >= ParallelJoinRows
+		lo := c.keyOwner(pj.leftCol, tables)
+		if sizeOK &&
+			c.orderedStringCol(lo, pj.leftCol) &&
+			c.orderedStringCol(pj.table, pj.rightCol) {
+			d.codeDomain = true
+			codesOf[lo] = append(codesOf[lo], pj.leftCol)
+			codesOf[pj.table] = append(codesOf[pj.table], pj.rightCol)
+		}
+		d.partitioned = sizeOK &&
+			(d.codeDomain || !c.keyIsString(pj.leftCol, pj.rightCol, tables, pj.table))
+		decisions = append(decisions, d)
+		accRows = d.outRows
+	}
+
+	root, err := scan(first, codesOf[first])
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, j := range q.Joins {
-		right, err := scan(j.Table)
+	rootName := first
+	for _, d := range decisions {
+		right, err := scan(d.pj.table, codesOf[d.pj.table])
 		if err != nil {
 			return nil, nil, err
 		}
-		root = &exec.HashJoin{Left: root, Right: right, LeftKey: j.LeftCol, RightKey: j.RightCol}
+		probe, build := root, right
+		probeName, buildName := rootName, d.pj.table
+		lk, rk := d.pj.leftCol, d.pj.rightCol
+		if d.swap {
+			probe, build = right, root
+			probeName, buildName = d.pj.table, rootName
+			lk, rk = rk, lk
+		}
+		if d.partitioned {
+			info.Parallel = true
+			root = &exec.ParallelJoin{Left: probe, Right: build, LeftKey: lk, RightKey: rk}
+		} else {
+			root = &exec.HashJoin{Left: probe, Right: build, LeftKey: lk, RightKey: rk}
+		}
+		rootName = "⋈"
+		keyBytes := float64(8)
+		if !d.codeDomain && c.keyIsString(lk, rk, tables, d.pj.table) {
+			keyBytes = RawStringKeyBytes
+		}
+		w := EstimateHashJoin(d.probeRows, d.buildRows, d.outRows, keyBytes, d.ncols, d.partitioned)
+		jc := cm.Price(w, 0)
+		info.Est.Time += jc.Time
+		info.Est.Energy += jc.Energy
+		info.Est.Work.Add(w)
+		ji := JoinPlanInfo{
+			Probe: probeName, Build: buildName,
+			LeftKey: lk, RightKey: rk,
+			Partitioned: d.partitioned, CodeDomain: d.codeDomain,
+			EstProbeRows: d.probeRows, EstBuildRows: d.buildRows, EstOutRows: d.outRows,
+			ProbeBytes: uint64(d.probeRows * keyBytes),
+		}
+		if d.partitioned {
+			ji.PartitionBytes = uint64(d.buildRows * (8 + 12))
+		}
+		info.Joins = append(info.Joins, ji)
+	}
+	// Joins that ran in the dictionary code domain hand their coded
+	// columns to one final Materialize, the only operator that pays
+	// string bytes on this plan.
+	if len(codesOf) > 0 {
+		root = &exec.Materialize{Child: root}
 	}
 
 	// Aggregation.
@@ -254,6 +436,162 @@ func (c *Catalog) coercePred(p expr.Pred, table string) (expr.Pred, error) {
 		return p, fmt.Errorf("opt: string literal compared with numeric column %q", p.Col)
 	}
 	return p, nil
+}
+
+// plannedJoin is one join step of the left-deep chain after ordering:
+// table joins into the accumulated side on leftCol (accumulated) =
+// rightCol (table), with the estimated edge selectivity.
+type plannedJoin struct {
+	table    string
+	leftCol  string
+	rightCol string
+	sel      float64
+}
+
+// joinSel estimates an equi-join edge's selectivity with the textbook
+// 1/max(distinct) rule over the two key columns.
+func (c *Catalog) joinSel(tables []string, lcol, rtable, rcol string) float64 {
+	d := 1
+	if lt := c.keyOwner(lcol, tables); lt != "" {
+		if ts, err := c.Stats(lt); err == nil {
+			if cs, ok := ts.Cols[lcol]; ok && cs.Distinct > d {
+				d = cs.Distinct
+			}
+		}
+	}
+	if ts, err := c.Stats(rtable); err == nil {
+		if cs, ok := ts.Cols[rcol]; ok && cs.Distinct > d {
+			d = cs.Distinct
+		}
+	}
+	return 1 / float64(d)
+}
+
+// keyOwner resolves a join-key column to its owning table ("" if
+// unresolvable; the scan build will surface the error).
+func (c *Catalog) keyOwner(col string, tables []string) string {
+	owner, err := c.ownerOf(col, tables)
+	if err != nil {
+		return ""
+	}
+	return owner
+}
+
+// keyIsString reports whether a join runs on raw string keys (for the
+// cost model's key-width estimate).
+func (c *Catalog) keyIsString(lk, rk string, tables []string, rtable string) bool {
+	if lt := c.keyOwner(lk, tables); lt != "" {
+		if ts, err := c.Stats(lt); err == nil {
+			if cs, ok := ts.Cols[lk]; ok {
+				return cs.Type == colstore.String
+			}
+		}
+	}
+	if ts, err := c.Stats(rtable); err == nil {
+		if cs, ok := ts.Cols[rk]; ok {
+			return cs.Type == colstore.String
+		}
+	}
+	return false
+}
+
+// orderedStringCol reports whether table.col is a sealed string column
+// with an order-preserving dictionary — the precondition for joining in
+// the dictionary code domain.
+func (c *Catalog) orderedStringCol(table, col string) bool {
+	if table == "" {
+		return false
+	}
+	t, err := c.Table(table)
+	if err != nil {
+		return false
+	}
+	sc, err := t.StrCol(col)
+	if err != nil {
+		return false
+	}
+	return sc.Ordered()
+}
+
+// orderJoins runs the join-ordering pass over a multi-join query: the
+// query's join specs become an undirected join graph (nodes = tables
+// with post-predicate cardinality estimates, edges = join predicates
+// with 1/max(distinct) selectivities) and the so-far-offline OrderDP
+// solves it exactly up to DPLimit tables, with the greedy
+// smallest-intermediate-first heuristic beyond (JoinGraph.Order).  The
+// chosen order is rebuilt into a left-deep plannedJoin chain.  Queries
+// with fewer than two joins, an unpinned output shape (reordering
+// permutes columns), or a disconnection under the chosen order keep
+// their written order.
+func (c *Catalog) orderJoins(q *Query, tables []string, estRows func(string) float64, shapeFixed bool, info *PlanInfo) (string, []plannedJoin) {
+	seq := make([]plannedJoin, 0, len(q.Joins))
+	for _, j := range q.Joins {
+		seq = append(seq, plannedJoin{
+			table: j.Table, leftCol: j.LeftCol, rightCol: j.RightCol,
+			sel: c.joinSel(tables, j.LeftCol, j.Table, j.RightCol),
+		})
+	}
+	if len(q.Joins) < 2 || !shapeFixed {
+		return q.From, seq
+	}
+	idx := make(map[string]int, len(tables))
+	jts := make([]JoinTable, len(tables))
+	for i, t := range tables {
+		idx[t] = i
+		jts[i] = JoinTable{Name: t, Rows: estRows(t)}
+	}
+	g := NewJoinGraph(jts)
+	type joinEdge struct {
+		pj   plannedJoin
+		a, b int // a owns leftCol, b is pj.table
+	}
+	edges := make([]joinEdge, 0, len(seq))
+	for _, pj := range seq {
+		lt := c.keyOwner(pj.leftCol, tables)
+		if lt == "" || idx[lt] == idx[pj.table] {
+			return q.From, seq // unresolvable or self-edge: keep written order
+		}
+		g.AddEdge(idx[lt], idx[pj.table], pj.sel)
+		edges = append(edges, joinEdge{pj: pj, a: idx[lt], b: idx[pj.table]})
+	}
+	order, _, exact := g.Order()
+	placed := make([]bool, len(tables))
+	placed[order[0]] = true
+	used := make([]bool, len(edges))
+	out := make([]plannedJoin, 0, len(seq))
+	for _, t := range order[1:] {
+		found := -1
+		for ei, e := range edges {
+			if used[ei] {
+				continue
+			}
+			if (placed[e.a] && e.b == t) || (placed[e.b] && e.a == t) {
+				found = ei
+				break
+			}
+		}
+		if found < 0 {
+			// The order asks for a cross product the query never wrote;
+			// keep the written sequence instead of inventing one.
+			return q.From, seq
+		}
+		e := edges[found]
+		used[found] = true
+		pj := e.pj
+		if e.b != t {
+			// The new table owns the left column: flip the edge so the
+			// accumulated side keeps the left role.
+			pj = plannedJoin{table: tables[e.a], leftCol: e.pj.rightCol, rightCol: e.pj.leftCol, sel: e.pj.sel}
+		}
+		out = append(out, pj)
+		placed[t] = true
+	}
+	info.JoinOrderExact = exact
+	info.JoinOrder = make([]string, len(order))
+	for i, t := range order {
+		info.JoinOrder[i] = tables[t]
+	}
+	return tables[order[0]], out
 }
 
 // ownerOf resolves a column to the first table in the query that has it.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/energy"
+	"repro/internal/opt"
 	"repro/internal/workload"
 )
 
@@ -144,5 +145,38 @@ func TestDOPModelShape(t *testing.T) {
 	}
 	if got := PriceDOP(m, w, p, 0, 4, 0.05); got.DOP != 1 {
 		t.Errorf("PriceDOP must clamp d to 1, got %d", got.DOP)
+	}
+}
+
+// TestJoinDOPPricing feeds the optimizer's partitioned-join estimate —
+// partition scatter, hash-table build bytes, cache-resident probes,
+// output gather — through the same P-state model that prices scans, and
+// asserts joins get the same energy-aware DOP behavior: strictly
+// falling time, an interior energy optimum, and a partitioned join
+// whose movement-dominated profile never prices worse than the serial
+// join's miss-dominated one at the energy optimum.
+func TestJoinDOPPricing(t *testing.T) {
+	m := energy.DefaultModel()
+	p := m.Core.MaxPState()
+	// 1M probe × 100K build FK join, 4 output columns: the E20 shape.
+	part := opt.EstimateHashJoin(1e6, 1e5, 1e6, 8, 4, true)
+	serial := opt.EstimateHashJoin(1e6, 1e5, 1e6, 8, 4, false)
+
+	points := SweepDOP(m, part, p, 8, 0.1)
+	for i := 1; i < len(points); i++ {
+		if points[i].Time >= points[i-1].Time {
+			t.Errorf("join time must fall with DOP: %v at %d vs %v at %d",
+				points[i].Time, points[i].DOP, points[i-1].Time, points[i-1].DOP)
+		}
+	}
+	best := ChooseDOP(points, func(a, b DOPPoint) bool { return a.Energy < b.Energy })
+	if best.DOP == 1 || best.DOP == 8 {
+		t.Errorf("join energy-optimal DOP must be interior, got %d", best.DOP)
+	}
+	serialBest := ChooseDOP(SweepDOP(m, serial, p, 8, 0.1),
+		func(a, b DOPPoint) bool { return a.Energy < b.Energy })
+	if best.Energy > serialBest.Energy {
+		t.Errorf("partitioned join (%v J) must not price above the serial join (%v J): partitioning trades misses for streamed bytes",
+			best.Energy, serialBest.Energy)
 	}
 }
