@@ -368,6 +368,38 @@ func BenchmarkE20PartitionedJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkE21MultiQuery replays the E21 open-loop Zipf point-query
+// storm (48 queries, 100k QPS offered) through both scheduler arms at a
+// 2-core budget.  J/op is the modeled fleet energy of the whole storm
+// and bytes-touched/op the DRAM bytes it physically streamed — both are
+// deterministic (virtual-time schedule over seeded workload counters),
+// so the CI bench gate diffs them against the committed baseline; the
+// managed arm's numbers must sit strictly below the naive arm's
+// (TestE21Shape asserts it).
+func BenchmarkE21MultiQuery(b *testing.B) {
+	for _, arm := range []string{"naive", "managed"} {
+		b.Run(arm, func(b *testing.B) {
+			var row experiments.E21Row
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.E21Sweep(1<<18, 48, 100_000, []int{2}, arm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range rows {
+					if r.Arm == arm {
+						row = r
+					}
+				}
+			}
+			if row.Completed == 0 {
+				b.Fatal("storm completed nothing")
+			}
+			b.ReportMetric(float64(row.FleetJ), "J/op")
+			b.ReportMetric(float64(row.PhysBytes), "bytes-touched/op")
+		})
+	}
+}
+
 // BenchmarkScheduler measures the discrete-event scheduler core (the
 // substrate under E1/E5).
 func BenchmarkScheduler(b *testing.B) {

@@ -7,12 +7,19 @@
 // Usage:
 //
 //	go test -run '^$' -bench <pattern> -benchtime=1x -count=1 . | \
-//	    go run ./cmd/benchjson -out BENCH_PR3.json
+//	    go run ./cmd/benchjson -out BENCH_CI.json \
+//	        -baseline BENCH_PR5.json -tol 0.01 -report bench-diff.txt
 //
 // Timing noise is expected (CI runners are shared, this repo's container
-// is single-CPU): the tool never judges values, it only records them.
-// A run fails only if the benchmark binary itself failed, which go test
-// signals via its exit code before this tool runs.
+// is single-CPU), so wall-clock metrics (ns/op, MB/s) are recorded but
+// never judged.  The DETERMINISTIC custom metrics — J/op and
+// bytes-touched/op are pure functions of the energy model over seeded
+// workloads — are a different story: with -baseline the tool compares
+// them against the committed file and exits nonzero when a benchmark
+// regresses past -tol (relative), when a gated metric disappears, or
+// when the benchmark sets diverge.  Improvements past the tolerance
+// only warn: they mean the committed baseline is stale, not that the
+// build is broken.
 package main
 
 import (
@@ -47,6 +54,11 @@ type File struct {
 func main() {
 	in := flag.String("in", "", "bench output to read (default stdin)")
 	out := flag.String("out", "", "JSON file to write (default stdout)")
+	baseline := flag.String("baseline", "", "committed trajectory JSON to gate against")
+	tol := flag.Float64("tol", 0.01, "relative tolerance for gated metrics")
+	metrics := flag.String("metrics", "J/op,bytes-touched/op",
+		"comma-separated deterministic metrics to gate (wall-clock metrics are never judged)")
+	reportPath := flag.String("report", "", "file to write the diff report to (always printed on failure)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -72,11 +84,133 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "" {
 		os.Stdout.Write(buf)
-		return
-	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err)
 	}
+	if *baseline == "" {
+		return
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	report, failed := diff(base, file, splitMetrics(*metrics), *tol)
+	if *reportPath != "" {
+		if err := os.WriteFile(*reportPath, []byte(report), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	// stderr, not stdout: with -out omitted, stdout is the JSON stream
+	// and appending the report there would corrupt a piped consumer.
+	fmt.Fprint(os.Stderr, report)
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchjson: deterministic metrics regressed against", *baseline)
+		os.Exit(1)
+	}
+}
+
+// load reads a committed trajectory file.
+func load(path string) (*File, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func splitMetrics(s string) []string {
+	var out []string
+	for _, m := range strings.Split(s, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// diff gates the current run against the baseline: the benchmark sets
+// must match exactly (a silently dropped or renamed benchmark is a hole
+// in the trajectory), and every gated metric present in the baseline
+// must be present now and within tol relatively.  Regressions fail;
+// improvements past tol only flag the baseline as stale.
+func diff(base, cur *File, gated []string, tol float64) (string, bool) {
+	var b strings.Builder
+	failed := false
+	curBy := make(map[string]Bench, len(cur.Benchmarks))
+	for _, bench := range cur.Benchmarks {
+		curBy[bench.Name] = bench
+	}
+	baseBy := make(map[string]Bench, len(base.Benchmarks))
+	for _, bench := range base.Benchmarks {
+		baseBy[bench.Name] = bench
+	}
+	fmt.Fprintf(&b, "benchjson diff: %d baseline / %d current benchmarks, tol ±%.1f%%, gated: %s\n",
+		len(base.Benchmarks), len(cur.Benchmarks), tol*100, strings.Join(gated, " "))
+	for _, bench := range base.Benchmarks {
+		if _, ok := curBy[bench.Name]; !ok {
+			fmt.Fprintf(&b, "FAIL %s: benchmark missing from this run\n", bench.Name)
+			failed = true
+		}
+	}
+	for _, bench := range cur.Benchmarks {
+		if _, ok := baseBy[bench.Name]; !ok {
+			fmt.Fprintf(&b, "FAIL %s: benchmark not in baseline (refresh the committed file)\n", bench.Name)
+			failed = true
+		}
+	}
+	for _, bench := range base.Benchmarks {
+		now, ok := curBy[bench.Name]
+		if !ok {
+			continue
+		}
+		for _, m := range gated {
+			want, inBase := bench.Metrics[m]
+			got, inCur := now.Metrics[m]
+			if !inBase {
+				// A baseline entry without the gated metric would let
+				// every future regression of it ship silently — refuse
+				// the hole rather than skip it.  (Absent from both
+				// sides = a benchmark that never emits the metric.)
+				if inCur {
+					fmt.Fprintf(&b, "FAIL %s %s: metric absent from baseline (refresh the committed file)\n", bench.Name, m)
+					failed = true
+				}
+				continue
+			}
+			if !inCur {
+				fmt.Fprintf(&b, "FAIL %s %s: metric disappeared (baseline %g)\n", bench.Name, m, want)
+				failed = true
+				continue
+			}
+			switch {
+			case got > want*(1+tol):
+				fmt.Fprintf(&b, "FAIL %s %s: %g -> %g (+%.2f%%)\n",
+					bench.Name, m, want, got, rel(want, got))
+				failed = true
+			case got < want*(1-tol):
+				fmt.Fprintf(&b, "note %s %s: %g -> %g (%.2f%%): improvement, baseline is stale\n",
+					bench.Name, m, want, got, rel(want, got))
+			default:
+				fmt.Fprintf(&b, "ok   %s %s: %g -> %g\n", bench.Name, m, want, got)
+			}
+		}
+	}
+	if !failed {
+		fmt.Fprintln(&b, "PASS: no deterministic-metric regressions")
+	}
+	return b.String(), failed
+}
+
+// rel returns the signed relative change in percent.
+func rel(want, got float64) float64 {
+	if want == 0 {
+		return 0
+	}
+	return (got - want) / want * 100
 }
 
 // parse scans bench output: header lines (goos/goarch/cpu) fill the file

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func trajectory(jop float64, names ...string) *File {
+	f := &File{Schema: "bench-trajectory/v1"}
+	for _, n := range names {
+		f.Benchmarks = append(f.Benchmarks, Bench{
+			Name:       n,
+			Iterations: 1,
+			Metrics:    map[string]float64{"J/op": jop, "bytes-touched/op": 1e6, "ns/op": 12345},
+		})
+	}
+	return f
+}
+
+var gated = []string{"J/op", "bytes-touched/op"}
+
+// TestDiffPassesWithinTolerance: identical runs and sub-tolerance drift
+// both pass.
+func TestDiffPassesWithinTolerance(t *testing.T) {
+	base := trajectory(0.100, "BenchmarkA-2", "BenchmarkB-2")
+	if report, failed := diff(base, trajectory(0.100, "BenchmarkA-2", "BenchmarkB-2"), gated, 0.01); failed {
+		t.Fatalf("identical run failed:\n%s", report)
+	}
+	if report, failed := diff(base, trajectory(0.1005, "BenchmarkA-2", "BenchmarkB-2"), gated, 0.01); failed {
+		t.Fatalf("+0.5%% drift within ±1%% failed:\n%s", report)
+	}
+}
+
+// TestDiffFailsOnRegression is the CI gate's contract: an injected ≥1%
+// J/op regression fails the comparison.
+func TestDiffFailsOnRegression(t *testing.T) {
+	base := trajectory(0.100, "BenchmarkA-2")
+	report, failed := diff(base, trajectory(0.102, "BenchmarkA-2"), gated, 0.01)
+	if !failed {
+		t.Fatalf("+2%% J/op regression passed:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL BenchmarkA-2 J/op") {
+		t.Fatalf("report does not name the regressed metric:\n%s", report)
+	}
+}
+
+// TestDiffNotesImprovement: past-tolerance improvements warn about the
+// stale baseline but do not fail the job.
+func TestDiffNotesImprovement(t *testing.T) {
+	base := trajectory(0.100, "BenchmarkA-2")
+	report, failed := diff(base, trajectory(0.090, "BenchmarkA-2"), gated, 0.01)
+	if failed {
+		t.Fatalf("-10%% improvement failed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "stale") {
+		t.Fatalf("improvement not flagged:\n%s", report)
+	}
+}
+
+// TestDiffFailsOnStructuralDrift: dropped, renamed, or novel benchmarks
+// fail in either direction, and a vanished gated metric fails too.
+func TestDiffFailsOnStructuralDrift(t *testing.T) {
+	base := trajectory(0.1, "BenchmarkA-2", "BenchmarkB-2")
+	if report, failed := diff(base, trajectory(0.1, "BenchmarkA-2"), gated, 0.01); !failed {
+		t.Fatalf("dropped benchmark passed:\n%s", report)
+	}
+	if report, failed := diff(base, trajectory(0.1, "BenchmarkA-2", "BenchmarkB-2", "BenchmarkC-2"), gated, 0.01); !failed {
+		t.Fatalf("novel benchmark passed (baseline must be refreshed explicitly):\n%s", report)
+	}
+	cur := trajectory(0.1, "BenchmarkA-2", "BenchmarkB-2")
+	delete(cur.Benchmarks[0].Metrics, "J/op")
+	if report, failed := diff(base, cur, gated, 0.01); !failed {
+		t.Fatalf("vanished gated metric passed:\n%s", report)
+	}
+	// The inverse hole: a baseline entry missing a gated metric the run
+	// still emits would ungate that benchmark forever — it must fail.
+	holed := trajectory(0.1, "BenchmarkA-2", "BenchmarkB-2")
+	delete(holed.Benchmarks[0].Metrics, "J/op")
+	if report, failed := diff(holed, trajectory(0.1, "BenchmarkA-2", "BenchmarkB-2"), gated, 0.01); !failed {
+		t.Fatalf("holed baseline passed:\n%s", report)
+	}
+	// Absent from BOTH sides is a benchmark that never emits the metric.
+	both := trajectory(0.1, "BenchmarkA-2", "BenchmarkB-2")
+	delete(both.Benchmarks[0].Metrics, "J/op")
+	if report, failed := diff(both, cur, gated, 0.01); failed {
+		t.Fatalf("metric absent from both sides failed:\n%s", report)
+	}
+}
+
+// TestDiffZeroBaseline: a zero baseline value only accepts zero.
+func TestDiffZeroBaseline(t *testing.T) {
+	base := trajectory(0, "BenchmarkA-2")
+	if report, failed := diff(base, trajectory(0, "BenchmarkA-2"), gated, 0.01); failed {
+		t.Fatalf("zero == zero failed:\n%s", report)
+	}
+	if report, failed := diff(base, trajectory(0.001, "BenchmarkA-2"), gated, 0.01); !failed {
+		t.Fatalf("nonzero against zero baseline passed:\n%s", report)
+	}
+}
+
+// TestParseRoundTrip: the parser still reads real bench output with
+// custom metrics.
+func TestParseRoundTrip(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+cpu: Intel(R) Xeon(R)
+BenchmarkE21MultiQuery/managed-2   1   398038744 ns/op   0.05236 J/op   14989856 bytes-touched/op
+PASS
+`
+	f, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 || f.Goos != "linux" {
+		t.Fatalf("parse lost data: %+v", f)
+	}
+	b := f.Benchmarks[0]
+	if b.Metrics["J/op"] != 0.05236 || b.Metrics["bytes-touched/op"] != 14989856 {
+		t.Fatalf("metrics lost: %+v", b.Metrics)
+	}
+}

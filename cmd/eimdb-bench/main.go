@@ -1,10 +1,18 @@
 // Command eimdb-bench regenerates every table and series recorded in
-// EXPERIMENTS.md.  Each experiment (E1–E18) corresponds to a claim of the
+// EXPERIMENTS.md.  Each experiment (E1–E21) corresponds to a claim of the
 // paper; run them all or one at a time:
 //
 //	eimdb-bench              # run everything
 //	eimdb-bench -exp E3      # one experiment
 //	eimdb-bench -list        # list experiments with their claims
+//
+// It is also the open-loop workload driver for the multi-query
+// scheduler: -replay queues a Zipf point-query storm at a configurable
+// offered QPS and drains it through core.Engine's scheduler, printing
+// the fleet schedule and energy books.
+//
+//	eimdb-bench -replay -qps 100000 -n 200 -budget 4 -batch -arbitrate
+//	eimdb-bench -replay -batch=false -arbitrate=false   # naive baseline
 package main
 
 import (
@@ -13,13 +21,36 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1..E18) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1..E21) or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
+
+	replay := flag.Bool("replay", false, "open-loop workload driver mode")
+	qps := flag.Float64("qps", 100_000, "replay: offered arrival rate (queries/second)")
+	nq := flag.Int("n", 200, "replay: number of queries in the storm")
+	rows := flag.Int("rows", 1<<18, "replay: orders table cardinality")
+	zipf := flag.Float64("zipf", 1.3, "replay: key-skew exponent (hotter > 1)")
+	ncust := flag.Int("ncust", 40, "replay: distinct customer keys drawn")
+	budget := flag.Int("budget", 4, "replay: global core budget")
+	queue := flag.Int("queue", 0, "replay: admission queue depth (0 = unbounded)")
+	batch := flag.Bool("batch", true, "replay: shared-scan batching of lookalike queries")
+	arbitrate := flag.Bool("arbitrate", true, "replay: P-state DOP arbitration (false = naive all-cores FCFS)")
+	seed := flag.Uint64("seed", 17, "replay: workload seed")
 	flag.Parse()
+
+	if *replay {
+		if err := runReplay(*rows, *nq, *qps, *zipf, *ncust, *seed, core.SchedulerConfig{
+			Budget: *budget, QueueDepth: *queue, BatchScans: *batch, Arbitrate: *arbitrate,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -51,4 +82,37 @@ func main() {
 		os.Exit(2)
 	}
 	run(e)
+}
+
+// runReplay queues the storm and drains it through the scheduler,
+// reusing E21's generator so the driver replays the experiment's exact
+// workload shape.
+func runReplay(rows, nq int, qps, zipfS float64, ncust int, seed uint64, cfg core.SchedulerConfig) error {
+	eng, err := experiments.OrdersEngine(rows)
+	if err != nil {
+		return err
+	}
+	if err := experiments.SubmitStorm(eng, nq, qps, zipfS, ncust, seed); err != nil {
+		return err
+	}
+	fmt.Printf("replay: %d queries over %d rows, zipf %.2f over %d keys, offered %.0f q/s\n",
+		nq, rows, zipfS, ncust, qps)
+	fmt.Printf("sched:  budget=%d queue-depth=%d batch=%v arbitrate=%v\n",
+		cfg.Budget, cfg.QueueDepth, cfg.BatchScans, cfg.Arbitrate)
+
+	rep, err := eng.Drain(cfg)
+	if err != nil {
+		return err
+	}
+	f := rep.Fleet
+	fmt.Printf("\ncompleted %d, rejected %d, shared groups %d (+%d riders)\n",
+		f.Completed, f.Rejected, f.SharedGroups, f.SharedTasks)
+	fmt.Printf("latency: avg %v, p95 %v, makespan %v\n",
+		f.AvgLatency.Round(10*time.Microsecond), f.P95Latency.Round(10*time.Microsecond),
+		f.Makespan.Round(10*time.Microsecond))
+	fmt.Printf("energy:  fleet %v (%v/query), dynamic %v + static %v, batching saved %v\n",
+		rep.FleetEnergy(), rep.EnergyPerQuery(), rep.FleetDynamic, f.Static, rep.SavedDynamic)
+	fmt.Printf("work:    physical %.1f MB DRAM vs %.1f MB attributed\n",
+		float64(rep.Physical.BytesReadDRAM)/1e6, float64(rep.Attributed.BytesReadDRAM)/1e6)
+	return nil
 }

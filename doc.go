@@ -10,7 +10,11 @@
 // radix-partitioned morsel-parallel hash joins that run string keys in
 // the dictionary code domain, secondary indexes, a dual time/energy
 // optimizer with a DP-to-greedy join-ordering pass, an
-// energy-aware scheduler, concurrency-control schemes, a QoS REDO log, a
+// energy-aware scheduler with a multi-query layer (admission-controlled
+// run queue, a shared core budget arbitrated across concurrent queries
+// by the P-state DOP pricer through revocable core leases, and
+// shared-scan batching of lookalike queries, driven by open-loop
+// arrival processes), concurrency-control schemes, a QoS REDO log, a
 // storage hierarchy, a network simulator, distributed query shipping
 // (internal/dist: ship-raw vs ship-compressed vs aggregate pushdown over
 // a simulated cluster), cluster elasticity, flexible schema, database

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/energy"
+	"repro/internal/exec"
 	"repro/internal/opt"
 	"repro/internal/sql"
 )
@@ -27,19 +28,43 @@ func (e *Engine) QueryUnderBudget(text string, budget energy.Joules) (*Result, *
 	return e.RunUnderBudget(q, budget)
 }
 
+// budgetObjectives is the candidate order RunUnderBudget and Drain both
+// plan under; PickUnderEnergyBudget indexes into it.
+var budgetObjectives = []opt.Objective{opt.MinTime, opt.MinEDP, opt.MinEnergy}
+
+// resolveObjective plans q under every candidate objective and picks
+// the one whose estimate fits the energy budget — the single decision
+// procedure behind RunUnderBudget and per-submission budgets in Drain.
+// It returns the pick as an index into budgetObjectives, and the
+// winning candidate's physical plan, so callers on the serving path
+// need not plan a fourth time.
+func (e *Engine) resolveObjective(q *opt.Query, budget energy.Joules) (int, []opt.Cost, exec.Node, *opt.PlanInfo, error) {
+	var cands []opt.Cost
+	nodes := make([]exec.Node, 0, len(budgetObjectives))
+	infos := make([]*opt.PlanInfo, 0, len(budgetObjectives))
+	for _, obj := range budgetObjectives {
+		node, info, err := e.cat.Plan(q, e.cm, obj)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		cands = append(cands, info.Est)
+		nodes = append(nodes, node)
+		infos = append(infos, info)
+	}
+	pick := opt.PickUnderEnergyBudget(cands, budget)
+	return pick, cands, nodes[pick], infos[pick], nil
+}
+
 // RunUnderBudget is QueryUnderBudget for an already-built logical query.
 func (e *Engine) RunUnderBudget(q *opt.Query, budget energy.Joules) (*Result, *BudgetDecision, error) {
-	objectives := []opt.Objective{opt.MinTime, opt.MinEDP, opt.MinEnergy}
 	dec := &BudgetDecision{Budget: budget}
-	for _, obj := range objectives {
-		_, info, err := e.cat.Plan(q, e.cm, obj)
-		if err != nil {
-			return nil, nil, err
-		}
-		dec.Candidates = append(dec.Candidates, info.Est)
+	pick, cands, _, _, err := e.resolveObjective(q, budget)
+	if err != nil {
+		return nil, nil, err
 	}
-	dec.Picked = opt.PickUnderEnergyBudget(dec.Candidates, budget)
-	dec.Chosen = objectives[dec.Picked]
+	dec.Candidates = cands
+	dec.Picked = pick
+	dec.Chosen = budgetObjectives[pick]
 
 	prev := e.Objective()
 	e.SetObjective(dec.Chosen)

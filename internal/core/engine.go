@@ -30,6 +30,9 @@ type Engine struct {
 	cm    *opt.CostModel
 	obj   opt.Objective
 	meter energy.Meter // lifetime work accumulator
+	// pending holds queries queued by Submit/SubmitQuery until the next
+	// Drain schedules the whole backlog; IDs restart at zero per drain.
+	pending []Submission
 }
 
 // Option configures Open.
@@ -173,13 +176,7 @@ func (e *Engine) chooseDOP(est energy.Counters) int {
 	if maxDOP <= 1 {
 		return 1
 	}
-	var memGB float64
-	for _, name := range e.cat.Tables() {
-		if t, err := e.cat.Table(name); err == nil {
-			memGB += float64(t.Bytes()) / 1e9
-		}
-	}
-	points := sched.SweepDOP(e.model, est, e.cm.PState, maxDOP, memGB)
+	points := sched.SweepDOP(e.model, est, e.cm.PState, maxDOP, e.residentGB())
 	var better func(a, b sched.DOPPoint) bool
 	switch e.obj {
 	case opt.MinEnergy:

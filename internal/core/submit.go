@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/exec"
+	"repro/internal/opt"
+	"repro/internal/sched"
+	"repro/internal/sql"
+)
+
+// Multi-query serving: Engine.Submit enqueues queries with open-loop
+// arrival offsets, Engine.Drain runs the whole backlog through the
+// energy-aware multi-query scheduler (sched.MultiQ) — admission control,
+// shared-core-budget arbitration by the P-state DOP pricer, and
+// shared-scan batching of lookalike queries — then actually executes
+// each scheduled group once and hands every member its relation.
+//
+// Determinism contract (what E21 and the -race tests assert on the
+// 1-CPU CI box): for a fixed submission list, each query's relation and
+// attributed counters are byte-identical at every core budget and every
+// batching setting, because plans are DOP-invariant and attribution
+// never depends on group membership.  What changes with the budget and
+// batching is only the fleet's schedule and physical energy — the
+// quantities the scheduler exists to improve.
+
+// Submission is one queued query.
+type Submission struct {
+	ID      int
+	Arrival time.Duration // open-loop arrival offset (virtual time)
+	Q       *opt.Query
+	// Objective the query is planned and scheduled under.
+	Objective opt.Objective
+	// EnergyBudget, when positive, overrides Objective per query the way
+	// RunUnderBudget does: the fastest plan whose energy estimate fits
+	// the budget wins (most frugal plan when none fits).
+	EnergyBudget energy.Joules
+}
+
+// SchedulerConfig parameterizes Drain.
+type SchedulerConfig struct {
+	Budget     int  // global core budget shared by all admitted queries
+	QueueDepth int  // max waiting query groups; 0 = unbounded
+	BatchScans bool // shared-scan batching of lookalike queued queries
+	// Arbitrate re-divides the budget across running queries with the
+	// P-state DOP pricer; false is the naive all-queries-at-max-DOP
+	// FCFS baseline.
+	Arbitrate bool
+}
+
+// SubmissionResult is one query's outcome.
+type SubmissionResult struct {
+	ID       int
+	Rejected bool
+	// Err is set when the submission failed to plan (unknown table or
+	// column, bad predicate type — Rejected is also set) or failed
+	// during execution (Rel stays nil).  Either failure is isolated to
+	// this submission and its shared-scan riders — the rest of the
+	// backlog still drains.
+	Err       error
+	Rel       *exec.Relation
+	Work      energy.Counters  // attributed (standalone) work counters
+	Energy    energy.Breakdown // modeled per-query energy of that work
+	Objective opt.Objective    // objective the plan ran under
+	Start     time.Duration    // virtual dispatch time
+	Finish    time.Duration
+	Latency   time.Duration // includes queueing delay
+	DOP       int           // widest core grant the query's group held
+	GroupSize int           // lookalikes sharing the execution (1 = alone)
+	Shared    bool          // true when another query's execution served this one
+	PlanInfo  *opt.PlanInfo
+}
+
+// ScheduleReport summarizes one Drain.
+type ScheduleReport struct {
+	Results []SubmissionResult // in submission order
+	Fleet   *sched.MQResult    // the virtual-time schedule
+	// Attributed/Physical are the fleet meter's two books over the
+	// MEASURED counters: per-query bills vs work the machine performed
+	// (shared groups charged once).
+	Attributed energy.Counters
+	Physical   energy.Counters
+	// FleetDynamic prices the physical book; with Fleet.Static it forms
+	// the fleet energy bill.  SavedDynamic is the batching saving.
+	FleetDynamic energy.Joules
+	SavedDynamic energy.Joules
+}
+
+// FleetEnergy returns measured dynamic plus scheduled static energy.
+func (r *ScheduleReport) FleetEnergy() energy.Joules { return r.FleetDynamic + r.Fleet.Static }
+
+// EnergyPerQuery divides the fleet bill over completed queries.
+func (r *ScheduleReport) EnergyPerQuery() energy.Joules {
+	if r.Fleet.Completed == 0 {
+		return 0
+	}
+	return r.FleetEnergy() / energy.Joules(r.Fleet.Completed)
+}
+
+// Submit parses SQL and enqueues it at the given arrival offset under
+// the engine's current objective, returning the submission ID.
+func (e *Engine) Submit(arrival time.Duration, text string) (int, error) {
+	q, err := sql.Parse(text)
+	if err != nil {
+		return 0, err
+	}
+	return e.SubmitQuery(arrival, q, e.Objective(), 0), nil
+}
+
+// SubmitQuery enqueues an already-built logical query with its own
+// objective and optional per-query energy budget.
+func (e *Engine) SubmitQuery(arrival time.Duration, q *opt.Query, obj opt.Objective, budget energy.Joules) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := len(e.pending)
+	e.pending = append(e.pending, Submission{
+		ID: id, Arrival: arrival, Q: q, Objective: obj, EnergyBudget: budget,
+	})
+	return id
+}
+
+// Pending returns the number of queued submissions.
+func (e *Engine) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending)
+}
+
+// goalOf maps optimizer objectives onto scheduler goals.
+func goalOf(o opt.Objective) sched.Goal {
+	switch o {
+	case opt.MinEnergy:
+		return sched.GoalEnergy
+	case opt.MinEDP:
+		return sched.GoalEDP
+	default:
+		return sched.GoalTime
+	}
+}
+
+// residentGB sums the catalog's table footprints, the platform DRAM the
+// background-power terms integrate over.  The sum stays in integer
+// bytes until the end: Catalog.Tables ranges over a map, and a float
+// accumulated in map order would differ in the last ulp across runs —
+// enough to flip a near-tie in the scheduler's marginal-core pricing
+// and break the determinism contract.
+func (e *Engine) residentGB() float64 {
+	var bytes uint64
+	for _, name := range e.cat.Tables() {
+		if t, err := e.cat.Table(name); err == nil {
+			bytes += t.Bytes()
+		}
+	}
+	return float64(bytes) / 1e9
+}
+
+// Drain schedules and executes every queued submission, clearing the
+// queue.  Planning happens per submission (PlanInfo's estimate is the
+// admission cost and its ShareSig the batching key); the schedule comes
+// from sched.MultiQ; each scheduled group then executes exactly once
+// with a core lease at its granted width, and every group member gets
+// the same relation with the full work attributed to it.
+func (e *Engine) Drain(cfg SchedulerConfig) (*ScheduleReport, error) {
+	e.mu.Lock()
+	subs := e.pending
+	e.pending = nil
+	e.mu.Unlock()
+
+	report := &ScheduleReport{Results: make([]SubmissionResult, len(subs))}
+	plans := make([]exec.Node, len(subs))
+	infos := make([]*opt.PlanInfo, len(subs))
+	objs := make([]opt.Objective, len(subs))
+	tasks := make([]sched.Task, 0, len(subs))
+	for i, s := range subs {
+		obj := s.Objective
+		var node exec.Node
+		var info *opt.PlanInfo
+		var err error
+		if s.EnergyBudget > 0 {
+			var pick int
+			pick, _, node, info, err = e.resolveObjective(s.Q, s.EnergyBudget)
+			obj = budgetObjectives[pick]
+		} else {
+			node, info, err = e.cat.Plan(s.Q, e.cm, obj)
+		}
+		if err != nil {
+			// A submission that cannot plan fails alone; the backlog
+			// still drains.
+			report.Results[i] = SubmissionResult{ID: s.ID, Rejected: true,
+				Err: fmt.Errorf("core: submission %d: %w", s.ID, err)}
+			continue
+		}
+		plans[i], infos[i], objs[i] = node, info, obj
+		tasks = append(tasks, sched.Task{
+			Seq:      s.ID,
+			Arrival:  s.Arrival,
+			Work:     info.Est.Work,
+			ShareKey: fmt.Sprintf("%d|%s", obj, info.ShareSig),
+			Goal:     goalOf(obj),
+		})
+	}
+
+	fleet := sched.MultiQ(sched.MQConfig{
+		Budget:     cfg.Budget,
+		QueueDepth: cfg.QueueDepth,
+		BatchScans: cfg.BatchScans,
+		Arbitrate:  cfg.Arbitrate,
+		Model:      e.model,
+		PState:     e.cm.PState,
+		MemGB:      e.residentGB(),
+	}, tasks)
+
+	// Execution pass: group leaders run once; riders adopt the leader's
+	// relation and counters.  Submission IDs are dense, so leader lookup
+	// is a slice index.
+	report.Fleet = fleet
+	var fm energy.FleetMeter
+	for i := range fleet.Tasks {
+		ts := &fleet.Tasks[i]
+		r := &report.Results[ts.Seq]
+		r.ID = ts.Seq
+		r.Objective = objs[ts.Seq]
+		r.PlanInfo = infos[ts.Seq]
+		if ts.Rejected {
+			r.Rejected = true
+			continue
+		}
+		r.Start, r.Finish, r.Latency = ts.Start, ts.Finish, ts.Latency
+		r.DOP, r.GroupSize = ts.MaxDOP, ts.GroupSize
+		if ts.Leader != ts.Seq {
+			continue // rider: filled after its leader ran
+		}
+		ctx := exec.NewCtx()
+		ctx.Lease = exec.NewLease(ts.MaxDOP)
+		rel, err := plans[ts.Seq].Run(ctx)
+		if err != nil {
+			// An execution failure is isolated like a plan failure:
+			// this leader (and below, its riders) report the error,
+			// every other submission's results survive.
+			r.Err = fmt.Errorf("core: submission %d: %w", ts.Seq, err)
+			continue
+		}
+		r.Rel = rel
+		r.Work = ctx.Meter.Snapshot()
+		r.Energy = e.model.DynamicEnergy(r.Work, e.cm.PState)
+		r.Energy.Static = energy.StaticEnergy(e.cm.PState.Active, e.model.CPUTime(r.Work, e.cm.PState))
+		fm.AddQuery(r.Work)
+	}
+	for i := range fleet.Tasks {
+		ts := &fleet.Tasks[i]
+		if ts.Rejected || ts.Leader == ts.Seq {
+			continue
+		}
+		r := &report.Results[ts.Seq]
+		lead := &report.Results[ts.Leader]
+		r.Shared = true
+		if lead.Err != nil {
+			r.Err = lead.Err
+			continue
+		}
+		r.Rel, r.Work, r.Energy = lead.Rel, lead.Work, lead.Energy
+		fm.AddSharedQuery(r.Work)
+	}
+
+	report.Attributed = fm.Attributed()
+	report.Physical = fm.Physical()
+	report.FleetDynamic = e.model.DynamicEnergy(report.Physical, e.cm.PState).Total()
+	report.SavedDynamic = fm.SavedDynamic(e.model, e.cm.PState)
+	e.meter.Add(report.Physical) // lifetime work counts physical, not billed
+	return report, nil
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/energy"
+	"repro/internal/opt"
+	"repro/internal/sql"
+	"repro/internal/workload"
+)
+
+// submitEngine builds an engine with a sealed orders table of n rows.
+func submitEngine(t testing.TB, n int) *Engine {
+	t.Helper()
+	e := Open()
+	o := workload.GenOrders(42, n, n/100+10, 1.1)
+	tab, err := e.CreateTable("orders", colstore.Schema{
+		{Name: "id", Type: colstore.Int64},
+		{Name: "custkey", Type: colstore.Int64},
+		{Name: "amount", Type: colstore.Float64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.LoadInt64("id", o.OrderID); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.LoadInt64("custkey", o.CustKey); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.LoadFloat64("amount", o.Amount); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Seal("orders"); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// submitStorm queues a deterministic open-loop storm of point
+// aggregations over Zipf-hot customer keys.  Rates well above the
+// per-query service rate build the queue that lets lookalikes batch.
+func submitStorm(e *Engine, n int, rate float64) {
+	rng := workload.NewRNG(9)
+	z := workload.NewZipf(rng, 1.3, 50)
+	gaps := workload.Poisson(5, n, rate)
+	var at time.Duration
+	for i := 0; i < n; i++ {
+		at += gaps[i]
+		text := fmt.Sprintf("SELECT COUNT(*), SUM(amount) FROM orders WHERE custkey = %d", z.Next())
+		if _, err := e.Submit(at, text); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// TestDrainInvariantAcrossBudgets is the PR's core acceptance: the same
+// submission list drained under different core budgets and batching
+// settings yields byte-identical per-query relations and identical
+// attributed counters — only the fleet schedule and physical energy may
+// differ.
+func TestDrainInvariantAcrossBudgets(t *testing.T) {
+	const nq = 24
+	run := func(budget int, batch bool) *ScheduleReport {
+		e := submitEngine(t, 1<<16)
+		submitStorm(e, nq, 500_000)
+		rep, err := e.Drain(SchedulerConfig{Budget: budget, BatchScans: batch, Arbitrate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	base := run(1, false)
+	if len(base.Results) != nq {
+		t.Fatalf("lost submissions: %d", len(base.Results))
+	}
+	for _, budget := range []int{2, 8} {
+		for _, batch := range []bool{false, true} {
+			rep := run(budget, batch)
+			for i := range rep.Results {
+				got, want := rep.Results[i], base.Results[i]
+				if !reflect.DeepEqual(got.Rel, want.Rel) {
+					t.Fatalf("budget=%d batch=%v: query %d relation differs", budget, batch, i)
+				}
+				if got.Work != want.Work {
+					t.Fatalf("budget=%d batch=%v: query %d attributed counters differ:\n%+v\n%+v",
+						budget, batch, i, got.Work, want.Work)
+				}
+			}
+			if rep.Attributed != base.Attributed {
+				t.Fatalf("budget=%d batch=%v: attributed book differs", budget, batch)
+			}
+		}
+	}
+}
+
+// TestDrainSharedScanSavesPhysicalWork: batching a hot-key storm leaves
+// the attributed book untouched but shrinks the physical one.
+func TestDrainSharedScanSavesPhysicalWork(t *testing.T) {
+	const nq = 24
+	e := submitEngine(t, 1<<16)
+	submitStorm(e, nq, 500_000)
+	batched, err := e.Drain(SchedulerConfig{Budget: 2, BatchScans: true, Arbitrate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := submitEngine(t, 1<<16)
+	submitStorm(e2, nq, 500_000)
+	solo, err := e2.Drain(SchedulerConfig{Budget: 2, BatchScans: false, Arbitrate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.Fleet.SharedGroups == 0 {
+		t.Fatal("hot-key storm formed no shared groups")
+	}
+	if batched.Attributed != solo.Attributed {
+		t.Fatal("batching must not change the attributed book")
+	}
+	if batched.Physical.BytesReadDRAM >= solo.Physical.BytesReadDRAM {
+		t.Fatalf("batching must stream fewer physical bytes: %d vs %d",
+			batched.Physical.BytesReadDRAM, solo.Physical.BytesReadDRAM)
+	}
+	if batched.SavedDynamic <= 0 {
+		t.Fatalf("saved dynamic energy must be positive, got %v", batched.SavedDynamic)
+	}
+	shared := 0
+	for _, r := range batched.Results {
+		if r.Shared {
+			shared++
+			if r.Rel == nil || r.GroupSize < 2 {
+				t.Fatalf("rider %d missing its relation or group: %+v", r.ID, r)
+			}
+		}
+	}
+	if shared != batched.Fleet.SharedTasks {
+		t.Fatalf("rider bookkeeping mismatch: %d vs %d", shared, batched.Fleet.SharedTasks)
+	}
+}
+
+// TestDrainRejectsBeyondQueueDepth: admission control surfaces in the
+// per-query results, and rejected queries carry no relation.
+func TestDrainRejectsBeyondQueueDepth(t *testing.T) {
+	e := submitEngine(t, 1<<16)
+	for i := 0; i < 6; i++ {
+		// Distinct keys at one instant: no batching escape hatch.
+		if _, err := e.Submit(0, fmt.Sprintf("SELECT COUNT(*) FROM orders WHERE custkey = %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := e.Drain(SchedulerConfig{Budget: 1, QueueDepth: 2, BatchScans: true, Arbitrate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fleet.Rejected != 4 {
+		t.Fatalf("want 4 rejections past depth 2, got %d", rep.Fleet.Rejected)
+	}
+	for _, r := range rep.Results {
+		if r.Rejected && r.Rel != nil {
+			t.Fatalf("rejected query %d has a relation", r.ID)
+		}
+		if !r.Rejected && r.Rel == nil {
+			t.Fatalf("completed query %d lost its relation", r.ID)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatal("drain must clear the queue")
+	}
+}
+
+// TestDrainIsolatesPlanFailures: one unplannable submission (unknown
+// table passes parsing but fails at plan time) must fail alone; the
+// rest of the backlog still drains to completion.
+func TestDrainIsolatesPlanFailures(t *testing.T) {
+	e := submitEngine(t, 1<<16)
+	if _, err := e.Submit(0, "SELECT COUNT(*) FROM orders WHERE custkey = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(0, "SELECT COUNT(*) FROM nosuch"); err != nil {
+		t.Fatal(err) // parses fine; only planning knows the catalog
+	}
+	if _, err := e.Submit(0, "SELECT COUNT(*) FROM orders WHERE custkey = 2"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Drain(SchedulerConfig{Budget: 2, Arbitrate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := rep.Results[1]
+	if !bad.Rejected || bad.Err == nil || bad.Rel != nil {
+		t.Fatalf("unplannable submission must fail alone: %+v", bad)
+	}
+	for _, i := range []int{0, 2} {
+		r := rep.Results[i]
+		if r.Rejected || r.Err != nil || r.Rel == nil {
+			t.Fatalf("valid submission %d poisoned by its neighbor: %+v", i, r)
+		}
+	}
+	if rep.Fleet.Completed != 2 {
+		t.Fatalf("completed = %d, want 2", rep.Fleet.Completed)
+	}
+}
+
+// TestDrainMatchesRun: a drained query's relation equals the same query
+// through the serial Run path — scheduling changes nothing about
+// results.
+func TestDrainMatchesRun(t *testing.T) {
+	e := submitEngine(t, 1<<16)
+	const text = "SELECT COUNT(*), SUM(amount) FROM orders WHERE custkey = 3"
+	want, err := e.Query(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(0, text); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Drain(SchedulerConfig{Budget: 4, BatchScans: true, Arbitrate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Results[0].Rel, want.Rel) {
+		t.Fatal("drained relation differs from Run relation")
+	}
+	if rep.Results[0].Work != want.Work {
+		t.Fatalf("drained counters differ from Run counters:\n%+v\n%+v", rep.Results[0].Work, want.Work)
+	}
+}
+
+// TestDrainPerQueryBudget: a submission's energy budget resolves its
+// objective exactly the way RunUnderBudget would have.
+func TestDrainPerQueryBudget(t *testing.T) {
+	e := submitEngine(t, 1<<16)
+	if err := e.CreateIndex("orders", "id", "btree"); err != nil {
+		t.Fatal(err)
+	}
+	const text = "SELECT id FROM orders WHERE id = 4242"
+	q, err := sql.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []energy.Joules{1e-15, 10} {
+		_, dec, err := e.QueryUnderBudget(text, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SubmitQuery(0, q, opt.MinTime, budget)
+		rep, err := e.Drain(SchedulerConfig{Budget: 2, Arbitrate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rep.Results[0].Objective; got != dec.Chosen {
+			t.Fatalf("budget %v: drained objective %v, RunUnderBudget chose %v", budget, got, dec.Chosen)
+		}
+		if rep.Results[0].Rel == nil || rep.Results[0].Rel.N != 1 {
+			t.Fatalf("budget %v: bad result %+v", budget, rep.Results[0].Rel)
+		}
+	}
+}

@@ -293,6 +293,9 @@ func (a *HashAgg) runParallel(ctx *Ctx, in *Relation, groupCols, aggCols []*Col)
 			a.aggRange(t, groupCols, aggCols, lo, hi)
 			return t, a.rangeWork(lo, hi, len(t.order))
 		})
+	if ctx.Canceled() {
+		return nil, ErrCanceled
+	}
 
 	// Merge in morsel order (deterministic at any DOP, including the
 	// floating-point addition order of the partial sums).

@@ -35,6 +35,14 @@ const MorselRows = colstore.SegSize
 // and the summed total is returned for the coordinator's trace entry.
 // It is the shared engine under runMorsels (tasks = row windows) and
 // the partitioned join's build phase (tasks = radix partitions).
+//
+// The pool honors the context's core lease at task granularity: before
+// each claim a worker re-reads Ctx.DOP(), so a shrunken grant retires
+// the excess workers at the next morsel boundary (a grant that grows
+// mid-operator adds no workers until the next operator starts), and a
+// canceled lease stops all claiming.  After a cancellation the results
+// are incomplete — every caller must check Ctx.Canceled() before using
+// them and return ErrCanceled in its place.
 func runPool[T any](ctx *Ctx, n int, work func(task int) (T, energy.Counters)) ([]T, energy.Counters) {
 	if n == 0 {
 		return nil, energy.Counters{}
@@ -55,6 +63,9 @@ func runPool[T any](ctx *Ctx, n int, work func(task int) (T, energy.Counters)) (
 		go func(wkr int) {
 			defer wg.Done()
 			for {
+				if ctx.Canceled() || (wkr > 0 && wkr >= ctx.DOP()) {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -159,6 +170,9 @@ func (s *ParallelScan) Run(ctx *Ctx) (*Relation, error) {
 	parts, total := runMorsels(ctx, n, func(m, lo, hi int) (*Relation, energy.Counters) {
 		return s.runMorsel(predCols, outCols, names, asCode, lo, hi)
 	})
+	if ctx.Canceled() {
+		return nil, ErrCanceled
+	}
 	out := concatParts(names, outCols, asCode, parts)
 	ctx.Trace(s.Label(), out.N, total)
 	return out, nil

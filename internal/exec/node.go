@@ -23,20 +23,33 @@ type Ctx struct {
 	// GOMAXPROCS; the energy-aware chooser in internal/sched picks a
 	// value per query from the P-state cost model.
 	Parallelism int
-	OpReports   []OpReport // per-operator trace, in completion order
+	// Lease, when set, overrides Parallelism with a revocable grant the
+	// multi-query scheduler resizes while the query runs.  Canceling the
+	// lease makes parallel operators stop at the next morsel boundary
+	// and return ErrCanceled.
+	Lease     *Lease
+	OpReports []OpReport // per-operator trace, in completion order
 }
 
 // NewCtx returns a fresh execution context.
 func NewCtx() *Ctx { return &Ctx{Meter: &energy.Meter{}} }
 
-// DOP returns the effective degree of parallelism for this query:
-// Parallelism when set, otherwise GOMAXPROCS.
+// DOP returns the effective degree of parallelism for this query: the
+// lease's current grant when a lease is attached, else Parallelism when
+// set, otherwise GOMAXPROCS.
 func (c *Ctx) DOP() int {
+	if c.Lease != nil {
+		return c.Lease.Grant()
+	}
 	if c.Parallelism > 0 {
 		return c.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
 }
+
+// Canceled reports whether the query's core lease has been revoked.
+// Queries without a lease are never canceled.
+func (c *Ctx) Canceled() bool { return c.Lease != nil && c.Lease.Canceled() }
 
 // OpReport records what one operator did.
 type OpReport struct {

@@ -232,6 +232,9 @@ func (j *ParallelJoin) runPartitioned(ctx *Ctx, left, right *Relation, lk, rk *C
 	chunks, pw := runMorsels(ctx, right.N, func(m, lo, hi int) (partChunk, energy.Counters) {
 		return scatterMorsel(rkeys, translated, lo, hi, nparts, shift)
 	})
+	if ctx.Canceled() {
+		return nil, ErrCanceled
+	}
 	ctx.Trace(label+" [partition]", right.N, pw)
 
 	// Build pass: one open-addressing table per partition, partitions in
@@ -239,12 +242,18 @@ func (j *ParallelJoin) runPartitioned(ctx *Ctx, left, right *Relation, lk, rk *C
 	tables, bw := runPool(ctx, nparts, func(p int) (*joinTable, energy.Counters) {
 		return buildPartition(chunks, p)
 	})
+	if ctx.Canceled() {
+		return nil, ErrCanceled
+	}
 	ctx.Trace(label+" [build]", right.N, bw)
 
 	// Probe pass: morsel-wise over the probe side in row order.
 	pairs, qw := runMorsels(ctx, left.N, func(m, lo, hi int) (pairChunk, energy.Counters) {
 		return probeMorsel(lkeys, lo, hi, tables, shift)
 	})
+	if ctx.Canceled() {
+		return nil, ErrCanceled
+	}
 	matches := 0
 	for _, pc := range pairs {
 		matches += len(pc.l)

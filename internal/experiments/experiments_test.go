@@ -11,8 +11,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 20 {
-		t.Fatalf("expected 20 experiments (E1-E14 + extensions E15-E20), have %d", len(all))
+	if len(all) != 21 {
+		t.Fatalf("expected 21 experiments (E1-E14 + extensions E15-E21), have %d", len(all))
 	}
 	for i, e := range all {
 		if want := fmt.Sprintf("E%d", i+1); e.ID != want {
@@ -408,6 +408,49 @@ func TestE20Shape(t *testing.T) {
 		}
 		if r.Bytes == 0 || r.J == 0 {
 			t.Errorf("%s DOP %d charged no movement/energy", r.Path, r.DOP)
+		}
+	}
+}
+
+func TestE21Shape(t *testing.T) {
+	// One storm, two arms, two budgets.  E21Sweep itself fails if any
+	// cell's per-query relations or attributed counters diverge from the
+	// first cell, or if a query is rejected.  The shape assertions here
+	// are the scheduler's payoff: batching must actually fire, stream
+	// fewer physical bytes, and cut fleet energy per query at every
+	// budget — on identical results.
+	rows, err := E21Sweep(1<<18, 64, 100_000, []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 4 (arm, budget) cells, have %d", len(rows))
+	}
+	byArm := map[string]map[int]E21Row{"naive": {}, "managed": {}}
+	for _, r := range rows {
+		byArm[r.Arm][r.Budget] = r
+	}
+	for _, budget := range []int{2, 8} {
+		naive, managed := byArm["naive"][budget], byArm["managed"][budget]
+		if naive.Completed != 64 || managed.Completed != 64 {
+			t.Fatalf("budget %d: lost queries: %d / %d", budget, naive.Completed, managed.Completed)
+		}
+		if managed.SharedGroups == 0 || managed.SharedTasks == 0 {
+			t.Errorf("budget %d: managed arm batched nothing", budget)
+		}
+		if naive.SharedGroups != 0 {
+			t.Errorf("budget %d: naive arm must not batch", budget)
+		}
+		if managed.PhysBytes >= naive.PhysBytes {
+			t.Errorf("budget %d: managed arm must stream fewer physical bytes: %d vs %d",
+				budget, managed.PhysBytes, naive.PhysBytes)
+		}
+		if managed.JPerQuery >= naive.JPerQuery {
+			t.Errorf("budget %d: managed fleet J/query must be strictly lower: %v vs %v",
+				budget, managed.JPerQuery, naive.JPerQuery)
+		}
+		if managed.SavedDynamic <= 0 {
+			t.Errorf("budget %d: no dynamic energy saved", budget)
 		}
 	}
 }

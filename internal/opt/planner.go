@@ -109,6 +109,13 @@ type PlanInfo struct {
 	// to the greedy heuristic past opt.DPLimit tables.
 	JoinOrder      []string
 	JoinOrderExact bool
+	// ShareSig is the plan's shared-scan signature: queries with equal
+	// signatures (and equal objectives) produce identical plans over
+	// identical catalog state, so the multi-query scheduler may execute
+	// one and hand every lookalike the same relation.  It is the
+	// canonical SQL rendering — the round-trip form both language
+	// fronts normalize to.
+	ShareSig string
 }
 
 // Plan lowers the logical query onto the physical operator tree, choosing
@@ -117,7 +124,7 @@ func (c *Catalog) Plan(q *Query, cm *CostModel, obj Objective) (exec.Node, *Plan
 	if q.From == "" {
 		return nil, nil, fmt.Errorf("opt: query has no FROM table")
 	}
-	info := &PlanInfo{Access: map[string]AccessChoice{}, Storage: map[string]TableStorageInfo{}}
+	info := &PlanInfo{Access: map[string]AccessChoice{}, Storage: map[string]TableStorageInfo{}, ShareSig: q.String()}
 
 	// Partition predicates by owning table.
 	tables := []string{q.From}

@@ -25,6 +25,18 @@ import (
 // concatenation.  Calibrated against the E18 measurements.
 const SerialFraction = 0.05
 
+// amdahl returns the wall-clock factor per serial-equivalent second at
+// degree d.  PriceDOP prices candidate grants with it and MultiQ
+// integrates running-query progress with it — one formula, so the
+// marginal-core gains the arbiter acts on always match the progress its
+// virtual clock simulates.
+func amdahl(d int) float64 {
+	if d < 1 {
+		d = 1
+	}
+	return SerialFraction + (1-SerialFraction)/float64(d)
+}
+
 // DOPPoint prices one query's work at a candidate degree of parallelism.
 type DOPPoint struct {
 	DOP    int
@@ -53,7 +65,7 @@ func PriceDOP(m *energy.Model, w energy.Counters, p energy.PState, d, cores int,
 		cores = d
 	}
 	cpu := m.CPUTime(w, p)
-	t := time.Duration(float64(cpu) * (SerialFraction + (1-SerialFraction)/float64(d)))
+	t := time.Duration(float64(cpu) * amdahl(d))
 	idle := energy.Watts(float64(m.Core.Idle.Power) * float64(cores-d))
 	platform := energy.Watts(float64(m.DRAMStaticPerGB)*memGB) + m.SSDIdle + m.LinkIdle
 	e := m.DynamicEnergy(w, p).Total() +

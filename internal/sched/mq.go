@@ -1,0 +1,457 @@
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/energy"
+)
+
+// Multi-query scheduling: the first cross-query control layer.  Where
+// Simulate (E1/E5) prices whole machines under fixed policies and
+// PriceDOP prices one query's worker count, MultiQ arbitrates a shared
+// global core budget across *concurrent* queries — the regime where
+// energy-proportional scheduling actually pays off.  It is a
+// deterministic discrete-event simulation over the energy model's
+// virtual time: queries arrive from an open-loop process, pass admission
+// control into a FCFS run queue, and the P-state DOP pricer re-divides
+// the core budget across the running set every time a query enters or
+// leaves the machine.  Lookalike queries waiting in the queue batch into
+// shared-scan groups (grouped by plan signature) so a storm of identical
+// point queries streams each segment once and pays its dynamic energy
+// once.
+//
+// Determinism contract: every decision is a function of the submitted
+// tasks and the config alone — virtual time, sequence-number tie-breaks,
+// and slice-ordered (never map-ordered) state.  Two runs of the same
+// task list produce identical schedules; the actual execution of the
+// scheduled queries (core.Engine.Drain) is DOP-invariant, so relations
+// and per-query counters are also invariant across core-budget settings.
+// On the 1-CPU CI machine that invariance — never wall-clock speedup —
+// is what the tests assert.
+
+// Goal is a per-query scheduling objective, mirroring the optimizer
+// objectives without importing them: it decides whether a marginal core
+// is worth taking during budget arbitration.
+type Goal int
+
+// The per-query goals.
+const (
+	// GoalTime takes every core that shortens the query (races to idle).
+	GoalTime Goal = iota
+	// GoalEnergy takes cores only while the P-state model says the
+	// shorter wall clock amortizes more background power than the extra
+	// active cores burn — the interior energy optimum of PriceDOP.
+	GoalEnergy
+	// GoalEDP balances the two via the energy-delay product.
+	GoalEDP
+)
+
+// String names the goal.
+func (g Goal) String() string {
+	switch g {
+	case GoalTime:
+		return "min-time"
+	case GoalEnergy:
+		return "min-energy"
+	case GoalEDP:
+		return "min-edp"
+	}
+	return "goal?"
+}
+
+// Task is one query submitted to the multi-query scheduler.
+type Task struct {
+	Seq     int           // submission order; the deterministic tie-break
+	Arrival time.Duration // open-loop arrival offset (virtual time)
+	Work    energy.Counters
+	// ShareKey groups lookalike queries for shared-scan batching: tasks
+	// with equal non-empty keys waiting in the queue together execute as
+	// one physical group.  core derives it from the canonical plan
+	// signature; empty disables sharing for the task.
+	ShareKey string
+	Goal     Goal
+	// MaxDOP caps the task's core grant (0 = the whole budget).
+	MaxDOP int
+}
+
+// MQConfig parameterizes a MultiQ run.
+type MQConfig struct {
+	// Budget is the global core budget the running set shares.  Zero or
+	// negative admits nothing: every task is rejected.
+	Budget int
+	// QueueDepth bounds the admission queue (waiting groups, not group
+	// members); arrivals past it are rejected.  Zero means unbounded.
+	QueueDepth int
+	// BatchScans enables shared-scan grouping of queued lookalikes.
+	BatchScans bool
+	// Arbitrate enables per-event budget re-division by the DOP pricer.
+	// When false the scheduler degenerates to the naive baseline E21
+	// compares against: one query at a time, granted the full budget
+	// (all-queries-at-max-DOP FCFS).
+	Arbitrate bool
+
+	Model  *energy.Model
+	PState energy.PState
+	MemGB  float64 // resident DRAM for platform background power
+}
+
+// TaskSchedule reports how one task fared.
+type TaskSchedule struct {
+	Seq      int
+	Rejected bool
+	// Leader is the Seq of the group leader whose physical execution
+	// this task shares (== Seq when the task ran alone or led).
+	Leader    int
+	GroupSize int
+	Start     time.Duration // dispatch time (virtual)
+	Finish    time.Duration
+	Latency   time.Duration // Finish - Arrival
+	MaxDOP    int           // widest core grant the task's group held
+}
+
+// MQResult summarizes a multi-query schedule.
+type MQResult struct {
+	Tasks      []TaskSchedule // by submission order
+	Completed  int
+	Rejected   int
+	Makespan   time.Duration
+	AvgLatency time.Duration
+	P95Latency time.Duration
+	// FleetDynamic is the dynamic energy physically spent: shared-scan
+	// groups charge their work once.  AttributedDynamic is the sum of
+	// every task's standalone dynamic energy — the fleet's bill had no
+	// sharing happened; the gap is the batching saving.
+	FleetDynamic      energy.Joules
+	AttributedDynamic energy.Joules
+	// Static integrates core active/idle power plus the DRAM platform
+	// floor over the makespan.
+	Static energy.Joules
+	// SharedGroups counts groups that batched more than one task;
+	// SharedTasks counts the riders (group members beyond the leader).
+	SharedGroups int
+	SharedTasks  int
+}
+
+// FleetEnergy returns the physical fleet energy of the schedule.
+func (r *MQResult) FleetEnergy() energy.Joules { return r.FleetDynamic + r.Static }
+
+// EnergyPerQuery returns fleet energy divided by completed queries.
+func (r *MQResult) EnergyPerQuery() energy.Joules {
+	if r.Completed == 0 {
+		return 0
+	}
+	return r.FleetEnergy() / energy.Joules(r.Completed)
+}
+
+// group is the scheduler's unit of dispatch: one or more lookalike tasks
+// sharing a single physical execution.
+type group struct {
+	leader  *Task
+	members []*Task // leader first, then riders in seq order
+	arrival time.Duration
+
+	cpu1   float64 // full serial CPU seconds of the work at the P-state
+	remain float64 // remaining serial-equivalent CPU seconds
+	dop    int
+	maxDOP int // widest grant held, for the report
+	start  time.Duration
+}
+
+// cap returns the group's core-grant ceiling under the budget.
+func (g *group) cap(budget int) int {
+	c := budget
+	if g.leader.MaxDOP > 0 && g.leader.MaxDOP < c {
+		c = g.leader.MaxDOP
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// remainWork scales the group's counters to its remaining fraction, the
+// input to marginal re-pricing.
+func (g *group) remainWork() energy.Counters {
+	if g.cpu1 <= 0 {
+		return g.leader.Work
+	}
+	f := g.remain / g.cpu1
+	if f > 1 {
+		f = 1
+	}
+	if f < 0 {
+		f = 0
+	}
+	return g.leader.Work.Scale(f)
+}
+
+// MultiQ runs the submitted tasks through the configured machine and
+// returns the deterministic schedule.  Tasks may arrive in any order;
+// they are processed by (Arrival, Seq).
+func MultiQ(cfg MQConfig, tasks []Task) *MQResult {
+	res := &MQResult{Tasks: make([]TaskSchedule, len(tasks))}
+	order := make([]*Task, len(tasks))
+	for i := range tasks {
+		order[i] = &tasks[i]
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Arrival != order[j].Arrival {
+			return order[i].Arrival < order[j].Arrival
+		}
+		return order[i].Seq < order[j].Seq
+	})
+	schedOf := make(map[int]*TaskSchedule, len(tasks))
+	for i := range tasks {
+		res.Tasks[i] = TaskSchedule{Seq: tasks[i].Seq, Leader: tasks[i].Seq, GroupSize: 1}
+		schedOf[tasks[i].Seq] = &res.Tasks[i]
+	}
+	if cfg.Budget <= 0 {
+		for i := range res.Tasks {
+			res.Tasks[i].Rejected = true
+		}
+		res.Rejected = len(tasks)
+		return res
+	}
+	m := cfg.Model
+	p := cfg.PState
+
+	var (
+		queue   []*group
+		running []*group
+		now     float64 // virtual seconds
+		lats    []time.Duration
+	)
+
+	// advance integrates running progress and static power from now to t.
+	advance := func(t float64) {
+		dt := t - now
+		if dt <= 0 {
+			now = t
+			return
+		}
+		active := 0
+		for _, g := range running {
+			g.remain -= dt / amdahl(g.dop)
+			if g.remain < 0 {
+				g.remain = 0
+			}
+			active += g.dop
+		}
+		idle := cfg.Budget - active
+		if idle < 0 {
+			idle = 0
+		}
+		watts := 0.0
+		for _, g := range running {
+			watts += float64(p.Active) * float64(g.dop)
+		}
+		watts += float64(m.Core.Idle.Power) * float64(idle)
+		// The same platform floor PriceDOP amortizes: billing less here
+		// than the pricer assumed would overstate the arbiter's savings.
+		watts += float64(m.DRAMStaticPerGB)*cfg.MemGB + float64(m.SSDIdle) + float64(m.LinkIdle)
+		res.Static += energy.Joules(watts * dt)
+		now = t
+	}
+
+	// reallocate re-divides the budget across the running set — called
+	// whenever a query enters or leaves the machine.  Arbitrated mode
+	// waterfills: every group holds one core, then spare cores go one at
+	// a time to the group whose goal gains the most from the marginal
+	// core (ties to the earliest seq); min-energy groups stop accepting
+	// cores at their interior optimum, so spare cores can stay idle even
+	// with queries running — that is the energy-proportional behavior.
+	reallocate := func() {
+		if len(running) == 0 {
+			return
+		}
+		if !cfg.Arbitrate {
+			for _, g := range running {
+				g.dop = g.cap(cfg.Budget)
+				if g.dop > g.maxDOP {
+					g.maxDOP = g.dop
+				}
+			}
+			return
+		}
+		spare := cfg.Budget
+		for _, g := range running {
+			g.dop = 1
+			spare--
+		}
+		type cand struct {
+			g      *group
+			points []DOPPoint // memoized sweep of remaining work
+		}
+		cands := make([]cand, len(running))
+		for i, g := range running {
+			cands[i] = cand{g: g, points: SweepDOP(m, g.remainWork(), p, g.cap(cfg.Budget), cfg.MemGB)}
+		}
+		// Gains are RELATIVE improvements of each group's own objective
+		// (unit-free), so a min-time query's seconds and a min-energy
+		// query's joules are commensurable in the auction; positive
+		// relative gain iff the marginal core helps at all.
+		better := func(t *Task, a, b DOPPoint) float64 {
+			frac := func(next, cur float64) float64 {
+				if cur <= 0 {
+					return 0
+				}
+				return (cur - next) / cur
+			}
+			switch t.Goal {
+			case GoalEnergy:
+				return frac(float64(a.Energy), float64(b.Energy))
+			case GoalEDP:
+				return frac(a.EDP(), b.EDP())
+			default:
+				return frac(a.Time.Seconds(), b.Time.Seconds())
+			}
+		}
+		for spare > 0 {
+			bestGain, bestIdx := 0.0, -1
+			for i := range cands {
+				g := cands[i].g
+				if g.dop >= len(cands[i].points) {
+					continue
+				}
+				// points[d-1] prices DOP d; gain of moving d -> d+1.
+				gain := better(g.leader, cands[i].points[g.dop], cands[i].points[g.dop-1])
+				if gain > bestGain {
+					bestGain, bestIdx = gain, i
+				}
+			}
+			if bestIdx < 0 {
+				break // no group profits from another core
+			}
+			cands[bestIdx].g.dop++
+			spare--
+		}
+		for _, g := range running {
+			if g.dop > g.maxDOP {
+				g.maxDOP = g.dop
+			}
+		}
+	}
+
+	// dispatch pops FCFS groups while run slots remain (one slot total in
+	// naive mode); the caller re-prices afterwards.
+	dispatch := func() {
+		slots := cfg.Budget
+		if !cfg.Arbitrate {
+			slots = 1
+		}
+		for len(queue) > 0 && len(running) < slots {
+			g := queue[0]
+			queue = queue[1:]
+			g.start = time.Duration(now * float64(time.Second))
+			running = append(running, g)
+		}
+	}
+
+	// admit handles one arrival: batching first, then queue-depth
+	// admission control.  Admission happens at arrival, before the
+	// dispatcher reacts, so a burst larger than the queue rejects its
+	// tail even if cores are free.
+	admit := func(t *Task) {
+		if cfg.BatchScans && t.ShareKey != "" {
+			for _, g := range queue {
+				if g.leader.ShareKey == t.ShareKey {
+					g.members = append(g.members, t)
+					return
+				}
+			}
+		}
+		if cfg.QueueDepth > 0 && len(queue) >= cfg.QueueDepth {
+			s := schedOf[t.Seq]
+			s.Rejected = true
+			res.Rejected++
+			return
+		}
+		queue = append(queue, &group{leader: t, members: []*Task{t},
+			arrival: t.Arrival,
+			cpu1:    m.CPUTime(t.Work, p).Seconds(),
+			remain:  m.CPUTime(t.Work, p).Seconds()})
+	}
+
+	// complete retires every running group whose remaining work is gone.
+	// The threshold is a nanosecond of serial CPU time — below Duration
+	// resolution, and far above the float residue advance() can leave on
+	// a finish event (so the loop always makes progress).
+	complete := func() bool {
+		kept := running[:0]
+		any := false
+		for _, g := range running {
+			if g.remain > 1e-9 {
+				kept = append(kept, g)
+				continue
+			}
+			any = true
+			finish := time.Duration(now * float64(time.Second))
+			dynOne := m.DynamicEnergy(g.leader.Work, p).Total()
+			res.FleetDynamic += dynOne
+			res.AttributedDynamic += dynOne * energy.Joules(len(g.members))
+			if len(g.members) > 1 {
+				res.SharedGroups++
+				res.SharedTasks += len(g.members) - 1
+			}
+			for _, t := range g.members {
+				s := schedOf[t.Seq]
+				s.Leader = g.leader.Seq
+				s.GroupSize = len(g.members)
+				s.Start = g.start
+				s.Finish = finish
+				s.Latency = finish - t.Arrival
+				s.MaxDOP = g.maxDOP
+				lats = append(lats, s.Latency)
+				res.Completed++
+			}
+		}
+		running = kept
+		return any
+	}
+
+	ai := 0
+	for ai < len(order) || len(running) > 0 {
+		// Next event: earliest completion vs next arrival.
+		tNext := -1.0
+		isArrival := false
+		if len(running) > 0 {
+			for _, g := range running {
+				f := now + g.remain*amdahl(g.dop)
+				if tNext < 0 || f < tNext {
+					tNext = f
+				}
+			}
+		}
+		if ai < len(order) {
+			at := order[ai].Arrival.Seconds()
+			if tNext < 0 || at < tNext {
+				tNext, isArrival = at, true
+			}
+		}
+		advance(tNext)
+		if isArrival {
+			// Every arrival at this instant, in seq order.
+			for ai < len(order) && order[ai].Arrival.Seconds() <= now+1e-12 {
+				admit(order[ai])
+				ai++
+			}
+		}
+		if complete() || isArrival {
+			dispatch()
+			reallocate() // a departure also re-prices the survivors
+		}
+	}
+
+	res.Makespan = time.Duration(now * float64(time.Second))
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		res.AvgLatency = sum / time.Duration(len(lats))
+		res.P95Latency = lats[len(lats)*95/100]
+	}
+	return res
+}
