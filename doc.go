@@ -24,5 +24,8 @@
 // for the subsystem map, the morsel pipeline, and the energy-accounting
 // walkthrough, and EXPERIMENTS.md for the per-claim reproduction map.
 // The root-level bench_test.go regenerates every experiment under
-// `go test -bench`.
+// `go test -bench`.  The determinism and energy-accounting contracts
+// are machine-checked by the stdlib-only internal/lint suite — run it
+// with `go run ./cmd/eimdb-lint ./...` (it also runs inside tier-1
+// `go test ./...` and as the CI lint job).
 package repro

@@ -244,8 +244,9 @@ func (e *Engine) Drain(cfg SchedulerConfig) (*ScheduleReport, error) {
 		}
 		r.Rel = rel
 		r.Work = ctx.Meter.Snapshot()
-		r.Energy = e.model.DynamicEnergy(r.Work, e.cm.PState)
-		r.Energy.Static = energy.StaticEnergy(e.cm.PState.Active, e.model.CPUTime(r.Work, e.cm.PState))
+		bill := e.model.DynamicEnergy(r.Work, e.cm.PState)
+		bill.Static = energy.StaticEnergy(e.cm.PState.Active, e.model.CPUTime(r.Work, e.cm.PState))
+		r.Energy = bill
 		fm.AddQuery(r.Work)
 	}
 	for i := range fleet.Tasks {

@@ -128,6 +128,8 @@ func mix64(x uint64) uint64 {
 
 // partChunk is one morsel's scatter output: partition p's pairs live at
 // keys[off[p]:off[p+1]], in ascending build-row order within the morsel.
+//
+//lint:hotpath
 type partChunk struct {
 	off  []int32
 	keys []int64
@@ -135,6 +137,8 @@ type partChunk struct {
 }
 
 // pairChunk is one probe morsel's matches, in probe-row order.
+//
+//lint:hotpath
 type pairChunk struct {
 	l, r []int32
 }
@@ -142,6 +146,8 @@ type pairChunk struct {
 // joinTable is a compact open-addressing hash table over one partition:
 // flat arrays instead of a Go map, one slot per distinct key, duplicate
 // rows chained in insertion (= ascending build-row) order.
+//
+//lint:hotpath
 type joinTable struct {
 	mask     uint64
 	slotKey  []int64

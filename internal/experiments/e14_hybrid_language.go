@@ -37,7 +37,7 @@ func E14Check(rows int) (*E14Result, error) {
 	text := `SELECT region, SUM(amount) AS rev, COUNT(*) AS n FROM orders
 		WHERE custkey < 100 AND amount > 50 GROUP BY region ORDER BY rev DESC`
 
-	start := time.Now()
+	start := time.Now() //lint:allow determinism: wall-clock display column; the determinism contract covers relations and counters, never wall time
 	const parseReps = 1000
 	for i := 0; i < parseReps-1; i++ {
 		if _, err := sql.Parse(text); err != nil {
@@ -47,9 +47,9 @@ func E14Check(rows int) (*E14Result, error) {
 	if _, err := sql.Parse(text); err != nil {
 		return nil, err
 	}
-	parse := time.Since(start) / parseReps
+	parse := time.Since(start) / parseReps //lint:allow determinism: wall-clock display column; the determinism contract covers relations and counters, never wall time
 
-	start = time.Now()
+	start = time.Now() //lint:allow determinism: wall-clock display column; the determinism contract covers relations and counters, never wall time
 	var builder *core.Builder
 	for i := 0; i < parseReps; i++ {
 		builder = e.From("orders").
@@ -61,14 +61,14 @@ func E14Check(rows int) (*E14Result, error) {
 			GroupBy("region").
 			OrderBy("rev", true)
 	}
-	build := time.Since(start) / parseReps
+	build := time.Since(start) / parseReps //lint:allow determinism: wall-clock display column; the determinism contract covers relations and counters, never wall time
 
-	start = time.Now()
+	start = time.Now() //lint:allow determinism: wall-clock display column; the determinism contract covers relations and counters, never wall time
 	resSQL, err := e.Query(text)
 	if err != nil {
 		return nil, err
 	}
-	sqlTime := time.Since(start)
+	sqlTime := time.Since(start) //lint:allow determinism: wall-clock display column; the determinism contract covers relations and counters, never wall time
 	resB, err := builder.Run()
 	if err != nil {
 		return nil, err

@@ -89,7 +89,7 @@ func E19BenchShapes(n int) []E19BenchShape {
 // dominantCodec returns the codec covering the most sealed segments.
 func dominantCodec(segs map[string]int) string {
 	best, bestN := "", -1
-	for name, k := range segs {
+	for name, k := range segs { //lint:allow determinism: order-independent argmax: strict count comparison with total lexicographic tie-break
 		if k > bestN || (k == bestN && name < best) {
 			best, bestN = name, k
 		}

@@ -1,0 +1,326 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterminismCheck is the name of the determinism analyzer.
+const DeterminismCheck = "determinism"
+
+// randConstructors are the math/rand functions that build an explicitly
+// seeded generator instead of drawing from the process-global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// AnalyzerDeterminism enforces the byte-identical-results contract in
+// the deterministic packages (Config.DetPkgs): every relation and every
+// attributed counter must come out identical at any DOP, core budget,
+// and batching setting, which dies the moment wall clocks, the global
+// math/rand source, or map iteration order reach an output.
+//
+// Rules:
+//
+//  1. no time.Now, time.Since, or time.Until — wall-clock reads.
+//     Simulated time lives in Ctx.SimTime and the virtual-time
+//     scheduler; wall-clock display columns need a reasoned
+//     //lint:allow.
+//  2. no math/rand (or math/rand/v2) package-level draw functions —
+//     they use the process-global, run-dependent source.  Explicitly
+//     seeded generators (rand.New(rand.NewSource(seed))) and
+//     internal/workload's own RNG are fine.
+//  3. a `range` over a map whose body writes state that outlives the
+//     loop (appends to an outer slice, assigns an outer variable,
+//     prints/writes output, sends on a channel) must be followed by a
+//     sort call later in the same function, or the iteration order
+//     leaks into results.  Commutative updates (integer +=, ++, |=,
+//     map-element writes) are exempt; float accumulation is not (FP
+//     addition is not associative).
+func AnalyzerDeterminism() Analyzer {
+	return Analyzer{
+		Name: DeterminismCheck,
+		Doc:  "deterministic packages must not read wall clocks, use global math/rand, or leak map iteration order",
+		Run:  runDeterminism,
+	}
+}
+
+func runDeterminism(u *Unit) []Diag {
+	var out []Diag
+	walkFiles(u, u.inDet, func(p *Package, f *ast.File) {
+		// funcStack tracks enclosing function bodies so a flagged
+		// map-range can look for a later sort in the same function.
+		var funcStack []ast.Node
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcStack = append(funcStack, x)
+				ast.Inspect(bodyOf(x), func(m ast.Node) bool {
+					if m == nil || m == bodyOf(x) {
+						return true
+					}
+					return walk(m)
+				})
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.SelectorExpr:
+				if d, ok := checkForbiddenRef(u, p, x); ok {
+					out = append(out, d)
+				}
+			case *ast.RangeStmt:
+				if d, ok := checkMapRange(u, p, x, enclosing(funcStack)); ok {
+					out = append(out, d)
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return true
+			}
+			return walk(n)
+		})
+	})
+	return out
+}
+
+// bodyOf returns the body of a FuncDecl or FuncLit (possibly nil).
+func bodyOf(n ast.Node) ast.Node {
+	switch x := n.(type) {
+	case *ast.FuncDecl:
+		if x.Body == nil {
+			return x
+		}
+		return x.Body
+	case *ast.FuncLit:
+		return x.Body
+	}
+	return n
+}
+
+// enclosing returns the innermost function node, or nil at file scope.
+func enclosing(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// checkForbiddenRef flags wall-clock and global-rand references.
+func checkForbiddenRef(u *Unit, p *Package, sel *ast.SelectorExpr) (Diag, bool) {
+	obj := p.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return Diag{}, false
+	}
+	// Methods are fine: t.Sub(u) is pure arithmetic and r.Intn draws
+	// from the receiver's own (seeded) source.  Only the package-level
+	// functions reach the wall clock or the global source.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return Diag{}, false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return Diag{
+				Pos:   u.Fset.Position(sel.Pos()),
+				Check: DeterminismCheck,
+				Msg: fmt.Sprintf("time.%s reads the wall clock in a deterministic package; "+
+					"use simulated time (Ctx.SimTime, sched virtual time) or //lint:allow %s: <reason>",
+					fn.Name(), DeterminismCheck),
+			}, true
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			return Diag{
+				Pos:   u.Fset.Position(sel.Pos()),
+				Check: DeterminismCheck,
+				Msg: fmt.Sprintf("%s.%s draws from the global, run-dependent source; "+
+					"use a seeded generator (workload.NewRNG or rand.New(rand.NewSource(seed)))",
+					fn.Pkg().Path(), fn.Name()),
+			}, true
+		}
+	}
+	return Diag{}, false
+}
+
+// checkMapRange flags a map-range loop whose body writes escaping,
+// order-sensitive state with no later sort in the enclosing function.
+func checkMapRange(u *Unit, p *Package, rng *ast.RangeStmt, fn ast.Node) (Diag, bool) {
+	t := p.Info.TypeOf(rng.X)
+	if t == nil {
+		return Diag{}, false
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return Diag{}, false
+	}
+	write := firstEscapingWrite(p, rng)
+	if write == nil {
+		return Diag{}, false
+	}
+	if fn != nil && hasLaterSort(p, fn, rng.End()) {
+		return Diag{}, false
+	}
+	return Diag{
+		Pos:   u.Fset.Position(rng.For),
+		Check: DeterminismCheck,
+		Msg: fmt.Sprintf("map iteration order leaks into state written at line %d; "+
+			"sort after the loop, collect keys and sort first, or //lint:allow %s: <reason>",
+			u.Fset.Position(write.Pos()).Line, DeterminismCheck),
+	}, true
+}
+
+// firstEscapingWrite returns the first statement in the loop body that
+// writes order-sensitive state declared outside the loop, or nil.
+func firstEscapingWrite(p *Package, rng *ast.RangeStmt) ast.Node {
+	var found ast.Node
+	declaredInside := func(id *ast.Ident) bool {
+		obj := p.Info.ObjectOf(id)
+		if obj == nil {
+			return true // blank or unresolved: not an escape
+		}
+		return obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if escapingLhs(p, lhs, x.Tok, declaredInside) {
+					found = x
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if escapingLhs(p, x.X, token.ADD_ASSIGN, declaredInside) {
+				found = x
+				return false
+			}
+		case *ast.SendStmt:
+			found = x
+			return false
+		case *ast.CallExpr:
+			if isOutputCall(p, x, declaredInside) {
+				found = x
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// escapingLhs reports whether assigning lhs with tok leaks iteration
+// order outside the loop.  declaredInside reports whether an identifier
+// is loop-local.
+func escapingLhs(p *Package, lhs ast.Expr, tok token.Token, declaredInside func(*ast.Ident) bool) bool {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return false
+	}
+	root := rootIdent(lhs)
+	if root == nil || declaredInside(root) {
+		return false
+	}
+	// Map-element writes have set semantics: each distinct key lands in
+	// its slot whatever the order.
+	if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+		if xt := p.Info.TypeOf(ix.X); xt != nil {
+			if _, isMap := xt.Underlying().(*types.Map); isMap {
+				return false
+			}
+		}
+	}
+	// Commutative, associative updates are order-independent on
+	// integers; float accumulation is not (FP addition does not
+	// associate), and string += concatenates in iteration order.
+	switch tok {
+	case token.ADD_ASSIGN, token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+		if t := p.Info.TypeOf(lhs); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// isOutputCall reports whether the call prints or writes output: any
+// fmt.Print*/Fprint*, or a Write*/Print* method on a receiver declared
+// outside the loop.
+func isOutputCall(p *Package, call *ast.CallExpr, declaredInside func(*ast.Ident) bool) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return hasPrefix(fn.Name(), "Print") || hasPrefix(fn.Name(), "Fprint")
+	}
+	name := sel.Sel.Name
+	if !(hasPrefix(name, "Write") || hasPrefix(name, "Print")) {
+		return false
+	}
+	root := rootIdent(sel.X)
+	return root != nil && !declaredInside(root)
+}
+
+func hasPrefix(s, pre string) bool { return len(s) >= len(pre) && s[:len(pre)] == pre }
+
+// hasLaterSort reports whether fn's body calls into package sort or a
+// slices.Sort* function after pos.
+func hasLaterSort(p *Package, fn ast.Node, pos token.Pos) bool {
+	found := false
+	ast.Inspect(bodyOf(fn), func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if f, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && f.Pkg() != nil {
+			switch f.Pkg().Path() {
+			case "sort":
+				found = true
+			case "slices":
+				if hasPrefix(f.Name(), "Sort") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rootIdent strips selectors, indexes, stars, and parens down to the
+// base identifier of an lvalue (nil when the base is not an
+// identifier, e.g. a call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// SuppressCheck is the name of the suppression-with-reason analyzer.
+const SuppressCheck = "suppress"
+
+// allowPrefix is the escape hatch: `//lint:allow <check>: <reason>`
+// suppresses <check> diagnostics on the comment's own line and on the
+// line immediately below it (so the directive can trail the offending
+// statement or sit on its own line directly above it).  An empty reason
+// or an unknown check name makes the directive itself a diagnostic and
+// suppresses nothing.
+const allowPrefix = "//lint:allow"
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	pos    token.Position // position of the comment
+	check  string
+	reason string
+	valid  bool // well-formed: known check, non-empty reason
+}
+
+// parseDirective parses one comment's text, reporting ok=false when the
+// comment is not a lint:allow directive at all.
+func parseDirective(text string, known map[string]bool) (d directive, ok bool) {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return d, false
+	}
+	rest := text[len(allowPrefix):]
+	// Require a separator so `//lint:allowx` is not a directive.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return d, false
+	}
+	rest = strings.TrimSpace(rest)
+	check, reason, found := strings.Cut(rest, ":")
+	if !found {
+		check = rest
+	}
+	d.check = strings.TrimSpace(check)
+	d.reason = strings.TrimSpace(reason)
+	d.valid = known[d.check] && d.reason != ""
+	return d, true
+}
+
+// suppressions indexes well-formed directives by file and line.
+type suppressions struct {
+	// byLine maps filename -> line -> checks allowed on that line.
+	byLine map[string]map[int]map[string]bool
+}
+
+// allows reports whether a well-formed directive covers the diagnostic.
+func (s *suppressions) allows(d Diag) bool {
+	lines := s.byLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[d.Pos.Line][d.Check]
+}
+
+// collectDirectives gathers every well-formed //lint:allow directive in
+// the unit.  Each directive covers its own source line and the next
+// line.
+func collectDirectives(u *Unit) *suppressions {
+	known := checkNames()
+	s := &suppressions{byLine: make(map[string]map[int]map[string]bool)}
+	for _, p := range u.Pkgs {
+		for _, f := range p.Lint {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, ok := parseDirective(c.Text, known)
+					if !ok || !d.valid {
+						continue
+					}
+					pos := u.Fset.Position(c.Pos())
+					end := u.Fset.Position(c.End())
+					lines := s.byLine[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]map[string]bool)
+						s.byLine[pos.Filename] = lines
+					}
+					for _, line := range []int{pos.Line, end.Line + 1} {
+						if lines[line] == nil {
+							lines[line] = make(map[string]bool)
+						}
+						lines[line][d.check] = true
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// AnalyzerSuppress validates every //lint:allow directive: the named
+// check must exist and the reason must be non-empty.  Suppressing a
+// suppression diagnostic is impossible by construction — a malformed
+// directive is not collected, and Run never filters this analyzer's
+// output.
+func AnalyzerSuppress() Analyzer {
+	return Analyzer{
+		Name: SuppressCheck,
+		Doc:  "//lint:allow directives must name a real check and give a non-empty reason",
+		Run: func(u *Unit) []Diag {
+			known := checkNames()
+			var out []Diag
+			for _, p := range u.Pkgs {
+				for _, f := range p.Lint {
+					for _, cg := range f.Comments {
+						for _, c := range cg.List {
+							d, ok := parseDirective(c.Text, known)
+							if !ok || d.valid {
+								continue
+							}
+							pos := u.Fset.Position(c.Pos())
+							switch {
+							case d.check == "":
+								out = append(out, Diag{Pos: pos, Check: SuppressCheck,
+									Msg: "lint:allow directive names no check (want //lint:allow <check>: <reason>)"})
+							case !known[d.check]:
+								out = append(out, Diag{Pos: pos, Check: SuppressCheck,
+									Msg: fmt.Sprintf("lint:allow names unknown check %q", d.check)})
+							default:
+								out = append(out, Diag{Pos: pos, Check: SuppressCheck,
+									Msg: "lint:allow " + d.check + " has no reason — every suppression must say why the rule does not apply"})
+							}
+						}
+					}
+				}
+			}
+			return out
+		},
+	}
+}
+
+// walkFiles applies fn to every linted file of every package for which
+// keep returns true.
+func walkFiles(u *Unit, keep func(p *Package) bool, fn func(p *Package, f *ast.File)) {
+	for _, p := range u.Pkgs {
+		if keep != nil && !keep(p) {
+			continue
+		}
+		for _, f := range p.Lint {
+			fn(p, f)
+		}
+	}
+}

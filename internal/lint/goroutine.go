@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// GoroutineCheck is the name of the goroutine-discipline analyzer.
+const GoroutineCheck = "goroutines"
+
+// AnalyzerGoroutines confines concurrency in the executor packages
+// (Config.ExecPkgs) to the shared worker-pool helpers
+// (Config.PoolFuncs, i.e. runPool/runMorsels).  Those helpers are the
+// only code that honors the multi-query scheduler's revocable core
+// leases — they re-read Ctx.DOP() before every task claim so a shrunken
+// grant retires workers at the next morsel boundary and a canceled
+// lease stops all claiming.  A `go` statement anywhere else in the
+// executor spawns a worker the scheduler cannot resize or cancel,
+// silently breaking lease accounting and mid-query cancellation.
+//
+// Test files are exempt: tests legitimately race goroutines against the
+// operators to exercise cancellation.
+func AnalyzerGoroutines() Analyzer {
+	return Analyzer{
+		Name: GoroutineCheck,
+		Doc:  "`go` statements in executor packages only inside the lease-honoring pool helpers",
+		Run:  runGoroutines,
+	}
+}
+
+func runGoroutines(u *Unit) []Diag {
+	allowed := make(map[string]bool)
+	for _, f := range u.Config.PoolFuncs {
+		allowed[f] = true
+	}
+	var out []Diag
+	walkFiles(u, func(p *Package) bool { return u.inExec(p) && !p.TestVariant }, func(p *Package, f *ast.File) {
+		if strings.HasSuffix(u.Fset.Position(f.Pos()).Filename, "_test.go") {
+			return
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if allowed[fd.Name.Name] {
+					return true
+				}
+				out = append(out, Diag{
+					Pos:   u.Fset.Position(g.Pos()),
+					Check: GoroutineCheck,
+					Msg: fmt.Sprintf("`go` statement in %s: executor goroutines must be spawned by %s "+
+						"so workers honor revocable core leases and morsel-boundary cancellation",
+						fd.Name.Name, strings.Join(u.Config.PoolFuncs, "/")),
+				})
+				return true
+			})
+		}
+	})
+	return out
+}

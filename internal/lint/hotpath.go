@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPathCheck is the name of the hot-path-no-map analyzer.
+const HotPathCheck = "hotpath"
+
+// hotpathMarker tags a struct whose layout is under the flat-array
+// contract: `//lint:hotpath` in the struct's doc comment.
+const hotpathMarker = "lint:hotpath"
+
+// AnalyzerHotPath enforces PR 4's flat-array contract on the per-morsel
+// join/agg hot structs: a struct marked `//lint:hotpath` in its doc
+// comment must not contain a Go map anywhere in its layout, transitively
+// through named module types, slices, arrays, and pointers.  Go maps
+// cost a hash + pointer chase per touch and defeat the cache-resident
+// per-partition design the energy counters are priced on; the hot
+// structs use open-addressing flat arrays instead.
+//
+// To keep the contract from silently vanishing, every executor package
+// (Config.ExecPkgs) must contain at least one marked struct.
+func AnalyzerHotPath() Analyzer {
+	return Analyzer{
+		Name: HotPathCheck,
+		Doc:  "structs marked //lint:hotpath stay flat arrays: no Go maps anywhere in their layout",
+		Run:  runHotPath,
+	}
+}
+
+func runHotPath(u *Unit) []Diag {
+	var out []Diag
+	marked := make(map[string]int) // import path -> marked struct count
+	walkFiles(u, func(p *Package) bool { return !p.TestVariant }, func(p *Package, f *ast.File) {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if !hasMarker(doc) {
+					continue
+				}
+				marked[p.ImportPath]++
+				obj := p.Info.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				if _, isStruct := obj.Type().Underlying().(*types.Struct); !isStruct {
+					out = append(out, Diag{
+						Pos:   u.Fset.Position(ts.Pos()),
+						Check: HotPathCheck,
+						Msg:   fmt.Sprintf("%s carries //lint:hotpath but is not a struct", ts.Name.Name),
+					})
+					continue
+				}
+				if path := findMap(u, obj.Type(), nil, make(map[types.Type]bool)); path != "" {
+					out = append(out, Diag{
+						Pos:   u.Fset.Position(ts.Pos()),
+						Check: HotPathCheck,
+						Msg: fmt.Sprintf("hot-path struct %s contains a Go map at %s; "+
+							"the per-morsel hot structs are flat arrays (open addressing + chained int32 rows), never maps",
+							ts.Name.Name, path),
+					})
+				}
+			}
+		}
+	})
+	for _, path := range u.Config.ExecPkgs {
+		p := u.Pkg(path)
+		if p == nil {
+			continue
+		}
+		if marked[path] == 0 {
+			out = append(out, Diag{
+				Pos:   u.Fset.Position(p.Files[0].Package),
+				Check: HotPathCheck,
+				Msg: fmt.Sprintf("package %s has no //lint:hotpath-marked struct; "+
+					"the flat-array contract on the join hot structs must stay machine-checked", path),
+			})
+		}
+	}
+	return out
+}
+
+// hasMarker reports whether a doc comment carries //lint:hotpath.
+func hasMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, hotpathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// findMap walks a type's layout and returns the field path of the first
+// embedded Go map ("" when map-free).  Named types outside the module
+// (stdlib) are not descended into — sync.Mutex and friends are opaque.
+func findMap(u *Unit, t types.Type, path []string, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch x := t.(type) {
+	case *types.Named:
+		if obj := x.Obj(); obj.Pkg() != nil && !u.localType(obj.Pkg().Path()) {
+			return "" // opaque foreign type (sync.Mutex and friends)
+		}
+		return findMap(u, x.Underlying(), path, seen)
+	case *types.Map:
+		if len(path) == 0 {
+			return "(the type itself)"
+		}
+		return strings.Join(path, ".")
+	case *types.Struct:
+		for i := 0; i < x.NumFields(); i++ {
+			f := x.Field(i)
+			if s := findMap(u, f.Type(), extend(path, f.Name()), seen); s != "" {
+				return s
+			}
+		}
+	case *types.Slice:
+		return findMap(u, x.Elem(), extend(path, "[]"), seen)
+	case *types.Array:
+		return findMap(u, x.Elem(), extend(path, "[n]"), seen)
+	case *types.Pointer:
+		return findMap(u, x.Elem(), extend(path, "*"), seen)
+	}
+	return ""
+}
+
+// extend copies-and-appends so sibling fields never alias one path
+// backing array.
+func extend(path []string, elem string) []string {
+	return append(append(make([]string, 0, len(path)+1), path...), elem)
+}

@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package as the analyzers see it.
+//
+// In-package test files cannot be merged into the importable package
+// (that would manufacture import cycles through packages the tests pull
+// in), so a directory with tests loads as up to three packages, exactly
+// like the go tool builds them: the importable base, a TestVariant with
+// the _test.go files merged (never imported by anyone), and an external
+// foo_test package.  Lint lists the files analyzers should report on —
+// for a TestVariant only the _test.go files, so base-file diagnostics
+// are not emitted twice.
+type Package struct {
+	ImportPath  string
+	Dir         string
+	Files       []*ast.File // all files type-checked into this package
+	Lint        []*ast.File // the subset analyzers report on
+	Types       *types.Package
+	Info        *types.Info
+	TestVariant bool // base files re-checked together with in-package tests
+}
+
+// Loader parses and type-checks module packages on demand, resolving
+// module-internal imports itself and standard-library imports through
+// the stdlib source importer (the only importer that works with no
+// network and no pre-compiled export data).
+type Loader struct {
+	Fset    *token.FileSet
+	Root    string
+	ModPath string
+
+	std     types.ImporterFrom
+	base    map[string]*Package // importable packages by import path
+	loading map[string]bool
+}
+
+// NewLoader returns a loader for the module rooted at root (a directory
+// containing go.mod).
+func NewLoader(root string) (*Loader, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		Fset:    fset,
+		Root:    root,
+		ModPath: mod,
+		std:     std,
+		base:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// dirFor maps a module import path to its directory.
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModPath {
+		return l.Root
+	}
+	return filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.ModPath+"/")))
+}
+
+// pathFor maps a directory under the module root to its import path.
+func (l *Loader) pathFor(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return l.ModPath
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel)
+}
+
+type unitImporter struct{ l *Loader }
+
+func (i unitImporter) Import(path string) (*types.Package, error) {
+	return i.ImportFrom(path, "", 0)
+}
+
+func (i unitImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == i.l.ModPath || strings.HasPrefix(path, i.l.ModPath+"/") {
+		p, err := i.l.loadBase(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return i.l.std.ImportFrom(path, i.l.Root, 0)
+}
+
+// parseDir parses every .go file in dir, sorted by name, and splits the
+// files into base, in-package test, and external test groups.
+func (l *Loader) parseDir(dir string) (base, intest, xtest []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, perr := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, nil, nil, perr
+		}
+		switch {
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			xtest = append(xtest, f)
+		case strings.HasSuffix(name, "_test.go"):
+			intest = append(intest, f)
+		default:
+			base = append(base, f)
+		}
+	}
+	return base, intest, xtest, nil
+}
+
+// check type-checks files as one package.
+func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: unitImporter{l}}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// loadBase loads the importable (non-test) package at the import path.
+func (l *Loader) loadBase(path string) (*Package, error) {
+	if p, ok := l.base[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	files, _, _, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	pkg, info, err := l.check(path, files)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{ImportPath: path, Dir: dir, Files: files, Lint: files, Types: pkg, Info: info}
+	l.base[path] = p
+	return p, nil
+}
+
+// loadDir loads every package variant in one directory: the importable
+// base, the base+tests variant, and the external test package.
+func (l *Loader) loadDir(dir string) ([]*Package, error) {
+	path := l.pathFor(dir)
+	base, intest, xtest, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	if len(base) > 0 {
+		p, err := l.loadBase(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if len(intest) > 0 {
+		files := append(append([]*ast.File(nil), base...), intest...)
+		pkg, info, err := l.check(path, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			ImportPath: path, Dir: dir, Files: files, Lint: intest,
+			Types: pkg, Info: info, TestVariant: true,
+		})
+	}
+	if len(xtest) > 0 {
+		xpath := path + "_test"
+		pkg, info, err := l.check(xpath, xtest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			ImportPath: xpath, Dir: dir, Files: xtest, Lint: xtest,
+			Types: pkg, Info: info,
+		})
+	}
+	return out, nil
+}
+
+// LoadModule loads every package in the module (tests included) and
+// returns a Unit configured with cfg.
+func (l *Loader) LoadModule(cfg Config) (*Unit, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, p)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	u := &Unit{ModPath: l.ModPath, Root: l.Root, Fset: l.Fset, Config: cfg}
+	for _, dir := range dirs {
+		pkgs, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		u.Pkgs = append(u.Pkgs, pkgs...)
+	}
+	return u, nil
+}
+
+// LoadFixture loads the single directory dir as the package with the
+// given import path (used by the testdata fixture tests, whose packages
+// live outside the module build).
+func (l *Loader) LoadFixture(dir, path string) (*Package, error) {
+	base, intest, xtest, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(intest)+len(xtest) > 0 {
+		return nil, fmt.Errorf("lint: fixture %s must not contain test files", dir)
+	}
+	pkg, info, err := l.check(path, base)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{ImportPath: path, Dir: dir, Files: base, Lint: base, Types: pkg, Info: info}, nil
+}

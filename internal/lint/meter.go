@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MeterCheck is the name of the meter-discipline analyzer.
+const MeterCheck = "meterdiscipline"
+
+// AnalyzerMeterDiscipline enforces the energy-accounting boundary:
+// outside Config.EnergyPkg, a write to a field of energy.Counters (or
+// energy.Breakdown) is legal only while building a function-local
+// counters value that will be handed to a metered API — Ctx.Charge,
+// Meter.Add, FleetMeter.  Writing counter fields through anything else
+// (a struct holding counters, a slice or map element, a package-level
+// variable, a pointer returned by a call) mutates shared accounting
+// state behind the meter's back, which is exactly how attributed bills
+// and the physical book drift apart.
+//
+// Concretely: `w.TuplesIn += n` is fine when w is a local
+// energy.Counters (or *energy.Counters) variable or parameter;
+// `rep.Work.TuplesIn += n`, `partials[i].BytesReadDRAM = n`, and
+// writes to package-level counters are diagnostics.
+func AnalyzerMeterDiscipline() Analyzer {
+	return Analyzer{
+		Name: MeterCheck,
+		Doc:  "energy counters are mutated only via Ctx.Charge/Meter/FleetMeter or on function-local values",
+		Run:  runMeterDiscipline,
+	}
+}
+
+func runMeterDiscipline(u *Unit) []Diag {
+	var out []Diag
+	keep := func(p *Package) bool {
+		return u.Config.EnergyPkg != "" && p.ImportPath != u.Config.EnergyPkg
+	}
+	walkFiles(u, keep, func(p *Package, f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					if d, ok := checkCounterWrite(u, p, lhs); ok {
+						out = append(out, d)
+					}
+				}
+			case *ast.IncDecStmt:
+				if d, ok := checkCounterWrite(u, p, x.X); ok {
+					out = append(out, d)
+				}
+			case *ast.UnaryExpr:
+				// &c.Field would launder the write through a pointer.
+				if x.Op == token.AND {
+					if d, ok := checkCounterWrite(u, p, x.X); ok {
+						d.Msg = "taking the address of an energy counter field escapes the meter discipline; " +
+							"pass whole Counters values and merge with Meter.Add"
+						out = append(out, d)
+					}
+				}
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// counterStruct reports whether t is energy.Counters or energy.Breakdown
+// from the configured energy package.
+func counterStruct(u *Unit, t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != u.Config.EnergyPkg {
+		return false
+	}
+	return obj.Name() == "Counters" || obj.Name() == "Breakdown"
+}
+
+// checkCounterWrite flags lhs when it is a selector writing a field of
+// energy.Counters/Breakdown through anything but a function-local
+// variable of that type.
+func checkCounterWrite(u *Unit, p *Package, lhs ast.Expr) (Diag, bool) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return Diag{}, false
+	}
+	s := p.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return Diag{}, false
+	}
+	recv := s.Recv()
+	if ptr, isPtr := recv.Underlying().(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	if !counterStruct(u, recv) {
+		return Diag{}, false
+	}
+	// The base must be a plain identifier naming a function-local
+	// variable (or parameter) whose own type is (a pointer to) the
+	// counters struct — i.e. selector depth exactly one.
+	if id, isIdent := ast.Unparen(sel.X).(*ast.Ident); isIdent {
+		if v, isVar := p.Info.ObjectOf(id).(*types.Var); isVar && !isPackageLevel(v) {
+			vt := v.Type()
+			if ptr, isPtr := vt.Underlying().(*types.Pointer); isPtr {
+				vt = ptr.Elem()
+			}
+			if counterStruct(u, vt) {
+				return Diag{}, false
+			}
+		}
+	}
+	return Diag{
+		Pos:   u.Fset.Position(sel.Pos()),
+		Check: MeterCheck,
+		Msg: fmt.Sprintf("field %s of energy.%s is written through a non-local path; "+
+			"counters stored in shared structures may only change via Ctx.Charge/Meter.Add/FleetMeter "+
+			"(build a local Counters value and merge it)",
+			s.Obj().Name(), recv.(*types.Named).Obj().Name()),
+	}, true
+}
+
+// isPackageLevel reports whether v is declared at package scope.
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

@@ -1,0 +1,44 @@
+// Package det_bad injects one violation per determinism rule; the
+// fixture test asserts the exact diagnostics.
+package det_bad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Wall reads the wall clock twice.
+func Wall() time.Duration {
+	start := time.Now()      // want: wall clock
+	return time.Since(start) // want: wall clock
+}
+
+// Draw uses the process-global rand source.
+func Draw() int { return rand.Intn(10) } // want: global rand
+
+// Leak appends map keys in iteration order and never sorts.
+func Leak(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want: order leaks into keys
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// FloatSum accumulates floats in iteration order (FP addition is not
+// associative, so the sum depends on the order).
+func FloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want: float accumulation
+		sum += v
+	}
+	return sum
+}
+
+// PrintAll writes output in iteration order.
+func PrintAll(m map[string]int) {
+	for k, v := range m { // want: output in map order
+		fmt.Println(k, v)
+	}
+}

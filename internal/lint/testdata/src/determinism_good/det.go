@@ -1,0 +1,59 @@
+// Package det_good is the corrected form of every determinism_bad
+// violation; the fixture test asserts the analyzer stays silent.
+package det_good
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Seeded draws from an explicitly seeded generator.
+func Seeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+// SortedKeys collects in map order but sorts before anyone can see it.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CountAll only bumps an integer counter: commutative, order-free.
+func CountAll(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// IntSum accumulates integers: associative, order-free.
+func IntSum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Invert writes map elements: set semantics, order-free.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// LocalOnly writes nothing that outlives the loop.
+func LocalOnly(m map[string]int) {
+	for _, v := range m {
+		x := v * 2
+		_ = x
+	}
+}

@@ -1,0 +1,26 @@
+// Package gopool has one sanctioned worker-pool helper and one rogue
+// goroutine spawn.
+package gopool
+
+// runPool is the sanctioned pool helper (named in Config.PoolFuncs).
+func runPool(work func()) {
+	done := make(chan struct{})
+	go func() { // allowed: inside the pool helper
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// Rogue spawns a worker outside the pool helpers.
+func Rogue(work func()) {
+	go work() // want: rogue goroutine
+}
+
+// Indirect also counts: the analyzer keys on the enclosing declaration.
+func Indirect(work func()) {
+	helper := func() {
+		go work() // want: still inside Indirect, not runPool
+	}
+	helper()
+}

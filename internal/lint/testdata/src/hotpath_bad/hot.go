@@ -1,0 +1,26 @@
+// Package hotpath_bad marks structs as hot-path and then hides maps in
+// them, directly and transitively.
+package hotpath_bad
+
+// table keeps a direct map.
+//
+//lint:hotpath
+type table struct {
+	idx map[int64]int32
+}
+
+// nested reaches a map through a slice of another struct.
+//
+//lint:hotpath
+type nested struct {
+	parts []side
+}
+
+type side struct {
+	lookup map[string]int
+}
+
+// count is marked but is not even a struct.
+//
+//lint:hotpath
+type count int

@@ -1,0 +1,22 @@
+// Package hotpath_good keeps its marked hot structs flat; unmarked
+// structs may use maps freely.
+package hotpath_good
+
+import "sync"
+
+// table is the corrected flat form: open addressing + chained rows.
+//
+//lint:hotpath
+type table struct {
+	mask     uint64
+	slotKey  []int64
+	slotHead []int32
+	rows     [4]int32
+	next     *table
+	mu       sync.Mutex // foreign types are opaque, not descended into
+}
+
+// coordinator is unmarked, so its map is nobody's business.
+type coordinator struct {
+	pending map[int]*table
+}

@@ -1,0 +1,10 @@
+// Package hotpath_missing is an executor package with no marked hot
+// struct: the contract must not be deletable by dropping the marker.
+package hotpath_missing
+
+type plain struct {
+	n int
+}
+
+// Use keeps the struct referenced.
+func Use() int { return plain{n: 1}.n }

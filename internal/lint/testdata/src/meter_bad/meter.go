@@ -1,0 +1,19 @@
+// Package meter_bad mutates energy counters stored in shared
+// structures, bypassing the metered APIs.
+package meter_bad
+
+import "repro/internal/energy"
+
+type report struct {
+	work energy.Counters
+}
+
+var global energy.Counters
+
+// Bad writes counter fields through everything but a local value.
+func Bad(r *report, parts []energy.Counters) *uint64 {
+	r.work.TuplesIn += 1            // want: through a struct
+	parts[0].BytesReadDRAM = 4096   // want: through a slice element
+	global.Instructions++           // want: package-level counters
+	return &global.BytesWrittenDRAM // want: address escape
+}

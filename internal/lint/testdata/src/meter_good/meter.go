@@ -1,0 +1,26 @@
+// Package meter_good builds counters locally and merges them through
+// the metered APIs — the allowed pattern.
+package meter_good
+
+import "repro/internal/energy"
+
+// Good accumulates into a local Counters value and merges via Meter.Add.
+func Good(m *energy.Meter) {
+	var w energy.Counters
+	w.TuplesIn += 10
+	w.BytesReadDRAM = 64
+	bump(&w)
+	m.Add(w)
+}
+
+// bump writes through a pointer parameter to a counters value — still a
+// function-local counters variable.
+func bump(w *energy.Counters) {
+	w.Instructions++
+}
+
+// Snapshot reads (never writes) stored counters: fine.
+func Snapshot(m *energy.Meter) uint64 {
+	c := m.Snapshot()
+	return c.TuplesIn
+}

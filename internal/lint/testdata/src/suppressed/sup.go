@@ -1,0 +1,32 @@
+// Package suppressed exercises the //lint:allow escape hatch: with a
+// reason it suppresses, without one (or with a bogus check name) the
+// directive itself becomes the diagnostic and suppresses nothing.
+package suppressed
+
+import "time"
+
+// Allowed carries a trailing directive with a reason: suppressed.
+func Allowed() time.Time {
+	return time.Now() //lint:allow determinism: fixture exercises the escape hatch
+}
+
+// AllowedAbove carries the directive on the preceding line: suppressed.
+func AllowedAbove() time.Time {
+	//lint:allow determinism: a directive also covers the line below it
+	return time.Now()
+}
+
+// NoReason has an empty reason: rejected, and the violation survives.
+func NoReason() time.Time {
+	return time.Now() //lint:allow determinism:
+}
+
+// WrongCheck names a check that does not exist.
+func WrongCheck() time.Time {
+	return time.Now() //lint:allow nosuchcheck: because I said so
+}
+
+// NoCheck names nothing at all.
+func NoCheck() time.Time {
+	return time.Now() //lint:allow
+}
