@@ -400,6 +400,33 @@ func BenchmarkE21MultiQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkE22Serving replays the E22 arrival script (48 queries,
+// 100k QPS offered) through the full serving front end — plan cache,
+// admission, shared-scan batching, virtual completion — at a 2-core
+// budget.  J/op is the batching arm's modeled fleet energy and
+// bytes-touched/op its physically streamed DRAM bytes; both are
+// deterministic (simulated clock over a seeded script), so the CI
+// bench gate diffs them against the committed baseline.
+func BenchmarkE22Serving(b *testing.B) {
+	var row experiments.E22Row
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.E22Sweep(1<<18, 48, 100_000, []int{2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Batch {
+				row = r
+			}
+		}
+	}
+	if row.Completed == 0 {
+		b.Fatal("storm completed nothing")
+	}
+	b.ReportMetric(float64(row.FleetJ), "J/op")
+	b.ReportMetric(float64(row.PhysBytes), "bytes-touched/op")
+}
+
 // BenchmarkScheduler measures the discrete-event scheduler core (the
 // substrate under E1/E5).
 func BenchmarkScheduler(b *testing.B) {

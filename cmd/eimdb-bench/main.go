@@ -84,9 +84,10 @@ func main() {
 	run(e)
 }
 
-// runReplay queues the storm and drains it through the scheduler,
-// reusing E21's generator so the driver replays the experiment's exact
-// workload shape.
+// runReplay queues the storm and drains it through the scheduler.  The
+// arrival script is the shared workload.Script form — the same bytes
+// E21 submits and the serving front end (eimdb-serve, E22) replays, so
+// the batch driver and the online server exercise one workload format.
 func runReplay(rows, nq int, qps, zipfS float64, ncust int, seed uint64, cfg core.SchedulerConfig) error {
 	eng, err := experiments.OrdersEngine(rows)
 	if err != nil {

@@ -14,7 +14,11 @@
 // run queue, a shared core budget arbitrated across concurrent queries
 // by the P-state DOP pricer through revocable core leases, and
 // shared-scan batching of lookalike queries, driven by open-loop
-// arrival processes), concurrency-control schemes, a QoS REDO log, a
+// arrival processes), an online HTTP/JSON serving front end
+// (internal/server + cmd/eimdb-serve: plan cache keyed by the canonical
+// share signature, per-client energy admission, queue backpressure —
+// deterministic to the byte on a simulated clock), concurrency-control
+// schemes, a QoS REDO log, a
 // storage hierarchy, a network simulator, distributed query shipping
 // (internal/dist: ship-raw vs ship-compressed vs aggregate pushdown over
 // a simulated cluster), cluster elasticity, flexible schema, database

@@ -166,6 +166,15 @@ func (e *Engine) Explain(text string) (string, error) {
 	return info.Explain, nil
 }
 
+// Plan lowers a logical query onto its physical operator tree at the
+// engine's cost model under the given objective, without executing it —
+// the serving front end's plan-cache fill path.  The returned node is
+// safe to re-run (operators keep no cross-run state), but never
+// concurrently with itself.
+func (e *Engine) Plan(q *opt.Query, obj opt.Objective) (exec.Node, *opt.PlanInfo, error) {
+	return e.cat.Plan(q, e.cm, obj)
+}
+
 // chooseDOP picks the query's degree of parallelism from the scheduler's
 // P-state cost model: the estimated work is priced at every worker count
 // up to GOMAXPROCS and the point that best serves the engine's objective

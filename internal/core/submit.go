@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/energy"
@@ -157,118 +157,38 @@ func (e *Engine) residentGB() float64 {
 }
 
 // Drain schedules and executes every queued submission, clearing the
-// queue.  Planning happens per submission (PlanInfo's estimate is the
-// admission cost and its ShareSig the batching key); the schedule comes
-// from sched.MultiQ; each scheduled group then executes exactly once
-// with a core lease at its granted width, and every group member gets
-// the same relation with the full work attributed to it.
+// queue.  It is the batch wrapper over the incremental Loop: the
+// backlog is replayed through the online machine in arrival order
+// (ties by submission ID), each group executing exactly once with a
+// core lease at its granted width when it retires, and every member
+// gets the same relation with the full work attributed to it.
 func (e *Engine) Drain(cfg SchedulerConfig) (*ScheduleReport, error) {
 	e.mu.Lock()
 	subs := e.pending
 	e.pending = nil
 	e.mu.Unlock()
 
-	report := &ScheduleReport{Results: make([]SubmissionResult, len(subs))}
-	plans := make([]exec.Node, len(subs))
-	infos := make([]*opt.PlanInfo, len(subs))
-	objs := make([]opt.Objective, len(subs))
-	tasks := make([]sched.Task, 0, len(subs))
-	for i, s := range subs {
-		obj := s.Objective
-		var node exec.Node
-		var info *opt.PlanInfo
-		var err error
-		if s.EnergyBudget > 0 {
-			var pick int
-			pick, _, node, info, err = e.resolveObjective(s.Q, s.EnergyBudget)
-			obj = budgetObjectives[pick]
-		} else {
-			node, info, err = e.cat.Plan(s.Q, e.cm, obj)
-		}
-		if err != nil {
-			// A submission that cannot plan fails alone; the backlog
-			// still drains.
-			report.Results[i] = SubmissionResult{ID: s.ID, Rejected: true,
-				Err: fmt.Errorf("core: submission %d: %w", s.ID, err)}
-			continue
-		}
-		plans[i], infos[i], objs[i] = node, info, obj
-		tasks = append(tasks, sched.Task{
-			Seq:      s.ID,
-			Arrival:  s.Arrival,
-			Work:     info.Est.Work,
-			ShareKey: fmt.Sprintf("%d|%s", obj, info.ShareSig),
-			Goal:     goalOf(obj),
-		})
+	l := e.NewLoop(cfg)
+	order := make([]*Submission, len(subs))
+	for i := range subs {
+		order[i] = &subs[i]
 	}
-
-	fleet := sched.MultiQ(sched.MQConfig{
-		Budget:     cfg.Budget,
-		QueueDepth: cfg.QueueDepth,
-		BatchScans: cfg.BatchScans,
-		Arbitrate:  cfg.Arbitrate,
-		Model:      e.model,
-		PState:     e.cm.PState,
-		MemGB:      e.residentGB(),
-	}, tasks)
-
-	// Execution pass: group leaders run once; riders adopt the leader's
-	// relation and counters.  Submission IDs are dense, so leader lookup
-	// is a slice index.
-	report.Fleet = fleet
-	var fm energy.FleetMeter
-	for i := range fleet.Tasks {
-		ts := &fleet.Tasks[i]
-		r := &report.Results[ts.Seq]
-		r.ID = ts.Seq
-		r.Objective = objs[ts.Seq]
-		r.PlanInfo = infos[ts.Seq]
-		if ts.Rejected {
-			r.Rejected = true
-			continue
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Arrival != order[j].Arrival {
+			return order[i].Arrival < order[j].Arrival
 		}
-		r.Start, r.Finish, r.Latency = ts.Start, ts.Finish, ts.Latency
-		r.DOP, r.GroupSize = ts.MaxDOP, ts.GroupSize
-		if ts.Leader != ts.Seq {
-			continue // rider: filled after its leader ran
+		return order[i].ID < order[j].ID
+	})
+	for ai := 0; ai < len(order); {
+		at := order[ai].Arrival
+		l.AdvanceTo(at)
+		for ai < len(order) && order[ai].Arrival == at {
+			s := order[ai]
+			l.offer(s.ID, at, s.Q, s.Objective, s.EnergyBudget)
+			ai++
 		}
-		ctx := exec.NewCtx()
-		ctx.Lease = exec.NewLease(ts.MaxDOP)
-		rel, err := plans[ts.Seq].Run(ctx)
-		if err != nil {
-			// An execution failure is isolated like a plan failure:
-			// this leader (and below, its riders) report the error,
-			// every other submission's results survive.
-			r.Err = fmt.Errorf("core: submission %d: %w", ts.Seq, err)
-			continue
-		}
-		r.Rel = rel
-		r.Work = ctx.Meter.Snapshot()
-		bill := e.model.DynamicEnergy(r.Work, e.cm.PState)
-		bill.Static = energy.StaticEnergy(e.cm.PState.Active, e.model.CPUTime(r.Work, e.cm.PState))
-		r.Energy = bill
-		fm.AddQuery(r.Work)
+		l.React()
 	}
-	for i := range fleet.Tasks {
-		ts := &fleet.Tasks[i]
-		if ts.Rejected || ts.Leader == ts.Seq {
-			continue
-		}
-		r := &report.Results[ts.Seq]
-		lead := &report.Results[ts.Leader]
-		r.Shared = true
-		if lead.Err != nil {
-			r.Err = lead.Err
-			continue
-		}
-		r.Rel, r.Work, r.Energy = lead.Rel, lead.Work, lead.Energy
-		fm.AddSharedQuery(r.Work)
-	}
-
-	report.Attributed = fm.Attributed()
-	report.Physical = fm.Physical()
-	report.FleetDynamic = e.model.DynamicEnergy(report.Physical, e.cm.PState).Total()
-	report.SavedDynamic = fm.SavedDynamic(e.model, e.cm.PState)
-	e.meter.Add(report.Physical) // lifetime work counts physical, not billed
-	return report, nil
+	l.RunToIdle()
+	return l.Report(), nil
 }

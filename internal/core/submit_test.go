@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
-	"time"
 
 	"repro/internal/colstore"
 	"repro/internal/energy"
@@ -42,17 +41,12 @@ func submitEngine(t testing.TB, n int) *Engine {
 }
 
 // submitStorm queues a deterministic open-loop storm of point
-// aggregations over Zipf-hot customer keys.  Rates well above the
-// per-query service rate build the queue that lets lookalikes batch.
+// aggregations over Zipf-hot customer keys (the shared PointStorm
+// script).  Rates well above the per-query service rate build the
+// queue that lets lookalikes batch.
 func submitStorm(e *Engine, n int, rate float64) {
-	rng := workload.NewRNG(9)
-	z := workload.NewZipf(rng, 1.3, 50)
-	gaps := workload.Poisson(5, n, rate)
-	var at time.Duration
-	for i := 0; i < n; i++ {
-		at += gaps[i]
-		text := fmt.Sprintf("SELECT COUNT(*), SUM(amount) FROM orders WHERE custkey = %d", z.Next())
-		if _, err := e.Submit(at, text); err != nil {
+	for _, a := range workload.PointStorm(9, n, rate, 1.3, 50).Arrivals {
+		if _, err := e.Submit(a.At, a.SQL); err != nil {
 			panic(err)
 		}
 	}

@@ -41,22 +41,17 @@ type E21Row struct {
 // SubmitStorm queues nq point aggregations over Zipf-hot customers as
 // an open-loop Poisson process at the given offered QPS, all under
 // min-energy objectives (the goal the arbitrated arm prices cores
-// with).  It is the one storm generator: E21 and the eimdb-bench
-// -replay driver both call it, so the driver always reproduces the
-// experiment's workload shape.
+// with).  The storm itself is workload.PointStorm — the one arrival
+// script E21, E22, the serving harness, and the eimdb-bench -replay
+// driver all share — so every driver reproduces the experiment's
+// workload shape.
 func SubmitStorm(e *core.Engine, nq int, qps, zipfS float64, nCust int, seed uint64) error {
-	rng := workload.NewRNG(seed)
-	z := workload.NewZipf(rng, zipfS, nCust)
-	gaps := workload.Poisson(seed+6, nq, qps)
-	var at time.Duration
-	for i := 0; i < nq; i++ {
-		at += gaps[i]
-		text := fmt.Sprintf("SELECT COUNT(*), SUM(amount) FROM orders WHERE custkey = %d", z.Next())
-		q, err := sql.Parse(text)
+	for _, a := range workload.PointStorm(seed, nq, qps, zipfS, nCust).Arrivals {
+		q, err := sql.Parse(a.SQL)
 		if err != nil {
 			return err
 		}
-		e.SubmitQuery(at, q, opt.MinEnergy, 0)
+		e.SubmitQuery(a.At, q, opt.MinEnergy, 0)
 	}
 	return nil
 }

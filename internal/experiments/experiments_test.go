@@ -11,8 +11,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 21 {
-		t.Fatalf("expected 21 experiments (E1-E14 + extensions E15-E21), have %d", len(all))
+	if len(all) != 22 {
+		t.Fatalf("expected 22 experiments (E1-E14 + extensions E15-E22), have %d", len(all))
 	}
 	for i, e := range all {
 		if want := fmt.Sprintf("E%d", i+1); e.ID != want {
@@ -451,6 +451,46 @@ func TestE21Shape(t *testing.T) {
 		}
 		if managed.SavedDynamic <= 0 {
 			t.Errorf("budget %d: no dynamic energy saved", budget)
+		}
+	}
+}
+
+func TestE22Shape(t *testing.T) {
+	// E22Sweep itself enforces the serving determinism contract (every
+	// response body byte-identical across arms, nothing rejected); the
+	// shape assertions here are the serving payoff: the plan cache
+	// absorbs the storm's repeated texts identically in every arm, and
+	// batching arms stream fewer physical bytes while banking saved-J.
+	rows, err := E22Sweep(1<<17, 48, 100_000, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 4 (budget, batch) arms, have %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CacheHits != rows[0].CacheHits || r.CacheMisses != rows[0].CacheMisses {
+			t.Errorf("b%d/batch=%v: cache outcomes moved with the schedule: %d/%d vs %d/%d",
+				r.Budget, r.Batch, r.CacheHits, r.CacheMisses, rows[0].CacheHits, rows[0].CacheMisses)
+		}
+		if r.CacheHits == 0 || r.CacheHits+r.CacheMisses != 48 {
+			t.Errorf("b%d/batch=%v: cache books wrong: %d hits + %d misses over 48 queries",
+				r.Budget, r.Batch, r.CacheHits, r.CacheMisses)
+		}
+	}
+	byBudget := map[int]map[bool]E22Row{1: {}, 4: {}}
+	for _, r := range rows {
+		byBudget[r.Budget][r.Batch] = r
+	}
+	for _, budget := range []int{1, 4} {
+		plain, batched := byBudget[budget][false], byBudget[budget][true]
+		if batched.PhysBytes >= plain.PhysBytes {
+			t.Errorf("budget %d: batching arm must stream fewer physical bytes: %d vs %d",
+				budget, batched.PhysBytes, plain.PhysBytes)
+		}
+		if batched.SavedJ <= 0 || plain.SavedJ != 0 {
+			t.Errorf("budget %d: saved-J books wrong: batched %v, plain %v",
+				budget, batched.SavedJ, plain.SavedJ)
 		}
 	}
 }

@@ -5,7 +5,9 @@ package expr
 
 import (
 	"fmt"
+	"math"
 	"strconv"
+	"strings"
 
 	"repro/internal/colstore"
 	"repro/internal/vec"
@@ -34,7 +36,15 @@ func (v Value) String() string {
 	case colstore.Int64:
 		return strconv.FormatInt(v.I, 10)
 	case colstore.Float64:
-		return strconv.FormatFloat(v.F, 'g', -1, 64)
+		s := strconv.FormatFloat(v.F, 'g', -1, 64)
+		// Integral values print bare ("5", "-0"), which would read back
+		// as BIGINT literals; keep the rendering float-typed so the
+		// canonical text round-trips.  Non-finite values have no SQL
+		// literal form and are left as strconv spells them.
+		if !strings.ContainsAny(s, ".eE") && !math.IsNaN(v.F) && !math.IsInf(v.F, 0) {
+			s += ".0"
+		}
+		return s
 	case colstore.String:
 		return "'" + v.S + "'"
 	}

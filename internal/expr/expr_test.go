@@ -24,7 +24,7 @@ func TestValueConstructorsAndString(t *testing.T) {
 
 func TestPredString(t *testing.T) {
 	p := Pred{Col: "amount", Op: vec.GE, Val: FloatVal(10)}
-	if p.String() != "amount >= 10" {
+	if p.String() != "amount >= 10.0" {
 		t.Fatalf("Pred.String() = %q", p.String())
 	}
 	p2 := Pred{Col: "region", Op: vec.NE, Val: StrVal("ASIA")}

@@ -92,6 +92,9 @@ func DefaultConfig() Config {
 			"repro/internal/workload",
 			"repro/internal/experiments",
 			"repro/internal/txn",
+			// The serving front end must be a pure function of its Clock:
+			// wall time lives only in cmd/eimdb-serve's realClock.
+			"repro/internal/server",
 		},
 		ExecPkgs:    []string{"repro/internal/exec"},
 		PoolFuncs:   []string{"runPool", "runMorsels"},

@@ -353,6 +353,13 @@ func TestEstimateMatchesMeasuredShape(t *testing.T) {
 	if narrow.CacheMisses >= wide.CacheMisses {
 		t.Error("index cost must grow with selectivity")
 	}
+	// A predicate-free aggregation still streams a column to count rows:
+	// the estimate must never degenerate to zero work, or the serving
+	// front end's estimate-charging 402 admission admits it for free.
+	bare := EstimateFullScan(ts, nil, 0)
+	if bare.BytesReadDRAM == 0 || bare.Instructions == 0 {
+		t.Errorf("predicate-free scan estimate must charge the row stream, got %+v", bare)
+	}
 }
 
 func TestObjectiveStrings(t *testing.T) {

@@ -188,9 +188,12 @@ func (g *group) remainWork() energy.Counters {
 
 // MultiQ runs the submitted tasks through the configured machine and
 // returns the deterministic schedule.  Tasks may arrive in any order;
-// they are processed by (Arrival, Seq).
+// they are processed by (Arrival, Seq).  MultiQ is the batch wrapper
+// over Loop: it advances to each distinct arrival instant (letting any
+// finish due at or before it retire first), offers every task of that
+// instant, reacts once, and drains the machine when arrivals run out —
+// exactly the event order the original one-shot loop produced.
 func MultiQ(cfg MQConfig, tasks []Task) *MQResult {
-	res := &MQResult{Tasks: make([]TaskSchedule, len(tasks))}
 	order := make([]*Task, len(tasks))
 	for i := range tasks {
 		order[i] = &tasks[i]
@@ -201,257 +204,22 @@ func MultiQ(cfg MQConfig, tasks []Task) *MQResult {
 		}
 		return order[i].Seq < order[j].Seq
 	})
-	schedOf := make(map[int]*TaskSchedule, len(tasks))
+	l := NewLoop(cfg)
+	for ai := 0; ai < len(order); {
+		at := order[ai].Arrival
+		l.AdvanceTo(at)
+		for ai < len(order) && order[ai].Arrival == at {
+			l.Offer(*order[ai])
+			ai++
+		}
+		l.React()
+	}
+	l.RunToIdle()
+	res := l.Result()
+	// The report lists tasks by submission order, not arrival order.
+	res.Tasks = make([]TaskSchedule, len(tasks))
 	for i := range tasks {
-		res.Tasks[i] = TaskSchedule{Seq: tasks[i].Seq, Leader: tasks[i].Seq, GroupSize: 1}
-		schedOf[tasks[i].Seq] = &res.Tasks[i]
-	}
-	if cfg.Budget <= 0 {
-		for i := range res.Tasks {
-			res.Tasks[i].Rejected = true
-		}
-		res.Rejected = len(tasks)
-		return res
-	}
-	m := cfg.Model
-	p := cfg.PState
-
-	var (
-		queue   []*group
-		running []*group
-		now     float64 // virtual seconds
-		lats    []time.Duration
-	)
-
-	// advance integrates running progress and static power from now to t.
-	advance := func(t float64) {
-		dt := t - now
-		if dt <= 0 {
-			now = t
-			return
-		}
-		active := 0
-		for _, g := range running {
-			g.remain -= dt / amdahl(g.dop)
-			if g.remain < 0 {
-				g.remain = 0
-			}
-			active += g.dop
-		}
-		idle := cfg.Budget - active
-		if idle < 0 {
-			idle = 0
-		}
-		watts := 0.0
-		for _, g := range running {
-			watts += float64(p.Active) * float64(g.dop)
-		}
-		watts += float64(m.Core.Idle.Power) * float64(idle)
-		// The same platform floor PriceDOP amortizes: billing less here
-		// than the pricer assumed would overstate the arbiter's savings.
-		watts += float64(m.DRAMStaticPerGB)*cfg.MemGB + float64(m.SSDIdle) + float64(m.LinkIdle)
-		res.Static += energy.Joules(watts * dt)
-		now = t
-	}
-
-	// reallocate re-divides the budget across the running set — called
-	// whenever a query enters or leaves the machine.  Arbitrated mode
-	// waterfills: every group holds one core, then spare cores go one at
-	// a time to the group whose goal gains the most from the marginal
-	// core (ties to the earliest seq); min-energy groups stop accepting
-	// cores at their interior optimum, so spare cores can stay idle even
-	// with queries running — that is the energy-proportional behavior.
-	reallocate := func() {
-		if len(running) == 0 {
-			return
-		}
-		if !cfg.Arbitrate {
-			for _, g := range running {
-				g.dop = g.cap(cfg.Budget)
-				if g.dop > g.maxDOP {
-					g.maxDOP = g.dop
-				}
-			}
-			return
-		}
-		spare := cfg.Budget
-		for _, g := range running {
-			g.dop = 1
-			spare--
-		}
-		type cand struct {
-			g      *group
-			points []DOPPoint // memoized sweep of remaining work
-		}
-		cands := make([]cand, len(running))
-		for i, g := range running {
-			cands[i] = cand{g: g, points: SweepDOP(m, g.remainWork(), p, g.cap(cfg.Budget), cfg.MemGB)}
-		}
-		// Gains are RELATIVE improvements of each group's own objective
-		// (unit-free), so a min-time query's seconds and a min-energy
-		// query's joules are commensurable in the auction; positive
-		// relative gain iff the marginal core helps at all.
-		better := func(t *Task, a, b DOPPoint) float64 {
-			frac := func(next, cur float64) float64 {
-				if cur <= 0 {
-					return 0
-				}
-				return (cur - next) / cur
-			}
-			switch t.Goal {
-			case GoalEnergy:
-				return frac(float64(a.Energy), float64(b.Energy))
-			case GoalEDP:
-				return frac(a.EDP(), b.EDP())
-			default:
-				return frac(a.Time.Seconds(), b.Time.Seconds())
-			}
-		}
-		for spare > 0 {
-			bestGain, bestIdx := 0.0, -1
-			for i := range cands {
-				g := cands[i].g
-				if g.dop >= len(cands[i].points) {
-					continue
-				}
-				// points[d-1] prices DOP d; gain of moving d -> d+1.
-				gain := better(g.leader, cands[i].points[g.dop], cands[i].points[g.dop-1])
-				if gain > bestGain {
-					bestGain, bestIdx = gain, i
-				}
-			}
-			if bestIdx < 0 {
-				break // no group profits from another core
-			}
-			cands[bestIdx].g.dop++
-			spare--
-		}
-		for _, g := range running {
-			if g.dop > g.maxDOP {
-				g.maxDOP = g.dop
-			}
-		}
-	}
-
-	// dispatch pops FCFS groups while run slots remain (one slot total in
-	// naive mode); the caller re-prices afterwards.
-	dispatch := func() {
-		slots := cfg.Budget
-		if !cfg.Arbitrate {
-			slots = 1
-		}
-		for len(queue) > 0 && len(running) < slots {
-			g := queue[0]
-			queue = queue[1:]
-			g.start = time.Duration(now * float64(time.Second))
-			running = append(running, g)
-		}
-	}
-
-	// admit handles one arrival: batching first, then queue-depth
-	// admission control.  Admission happens at arrival, before the
-	// dispatcher reacts, so a burst larger than the queue rejects its
-	// tail even if cores are free.
-	admit := func(t *Task) {
-		if cfg.BatchScans && t.ShareKey != "" {
-			for _, g := range queue {
-				if g.leader.ShareKey == t.ShareKey {
-					g.members = append(g.members, t)
-					return
-				}
-			}
-		}
-		if cfg.QueueDepth > 0 && len(queue) >= cfg.QueueDepth {
-			s := schedOf[t.Seq]
-			s.Rejected = true
-			res.Rejected++
-			return
-		}
-		queue = append(queue, &group{leader: t, members: []*Task{t},
-			arrival: t.Arrival,
-			cpu1:    m.CPUTime(t.Work, p).Seconds(),
-			remain:  m.CPUTime(t.Work, p).Seconds()})
-	}
-
-	// complete retires every running group whose remaining work is gone.
-	// The threshold is a nanosecond of serial CPU time — below Duration
-	// resolution, and far above the float residue advance() can leave on
-	// a finish event (so the loop always makes progress).
-	complete := func() bool {
-		kept := running[:0]
-		any := false
-		for _, g := range running {
-			if g.remain > 1e-9 {
-				kept = append(kept, g)
-				continue
-			}
-			any = true
-			finish := time.Duration(now * float64(time.Second))
-			dynOne := m.DynamicEnergy(g.leader.Work, p).Total()
-			res.FleetDynamic += dynOne
-			res.AttributedDynamic += dynOne * energy.Joules(len(g.members))
-			if len(g.members) > 1 {
-				res.SharedGroups++
-				res.SharedTasks += len(g.members) - 1
-			}
-			for _, t := range g.members {
-				s := schedOf[t.Seq]
-				s.Leader = g.leader.Seq
-				s.GroupSize = len(g.members)
-				s.Start = g.start
-				s.Finish = finish
-				s.Latency = finish - t.Arrival
-				s.MaxDOP = g.maxDOP
-				lats = append(lats, s.Latency)
-				res.Completed++
-			}
-		}
-		running = kept
-		return any
-	}
-
-	ai := 0
-	for ai < len(order) || len(running) > 0 {
-		// Next event: earliest completion vs next arrival.
-		tNext := -1.0
-		isArrival := false
-		if len(running) > 0 {
-			for _, g := range running {
-				f := now + g.remain*amdahl(g.dop)
-				if tNext < 0 || f < tNext {
-					tNext = f
-				}
-			}
-		}
-		if ai < len(order) {
-			at := order[ai].Arrival.Seconds()
-			if tNext < 0 || at < tNext {
-				tNext, isArrival = at, true
-			}
-		}
-		advance(tNext)
-		if isArrival {
-			// Every arrival at this instant, in seq order.
-			for ai < len(order) && order[ai].Arrival.Seconds() <= now+1e-12 {
-				admit(order[ai])
-				ai++
-			}
-		}
-		if complete() || isArrival {
-			dispatch()
-			reallocate() // a departure also re-prices the survivors
-		}
-	}
-
-	res.Makespan = time.Duration(now * float64(time.Second))
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		var sum time.Duration
-		for _, l := range lats {
-			sum += l
-		}
-		res.AvgLatency = sum / time.Duration(len(lats))
-		res.P95Latency = lats[len(lats)*95/100]
+		res.Tasks[i] = *l.Sched(tasks[i].Seq)
 	}
 	return res
 }

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Played is one scripted arrival's outcome: the HTTP status and the
+// exact response body bytes the live handler would have written (plus
+// the Retry-After hint for 429s).  Because bodies carry only
+// schedule-invariant facts, a completed query's Played is byte-
+// identical at every core budget and batching setting — the serving
+// determinism contract E22 asserts.
+type Played struct {
+	Status     int
+	RetryAfter int // seconds; set on 429 only
+	Body       string
+}
+
+// Replay drives a workload script through the full serving pipeline —
+// plan cache, per-client budgets, queue admission, shared-scan
+// batching, execution at virtual completion — without goroutines or
+// HTTP framing: arrivals are offered at their scripted virtual times
+// and the loop advances event by event.  It is the deterministic
+// harness behind E22 and the serving benchmark; the httptest paths
+// cover the same pipeline through real net/http.  Replay drives the
+// loop directly (the Clock is not consulted), so it must not be
+// interleaved with live HTTP traffic on the same server.
+func (s *Server) Replay(script *workload.Script) []Played {
+	out := make([]Played, len(script.Arrivals))
+	idx := make(map[int]int, len(script.Arrivals))
+	settle := func(done []*core.Ticket) {
+		s.deliverLocked(done) // client spend books
+		for _, t := range done {
+			if i, ok := idx[t.ID]; ok {
+				status, body := renderTicket(t)
+				out[i] = Played{Status: status, Body: string(body)}
+			}
+		}
+	}
+	for i, a := range script.Arrivals {
+		s.mu.Lock()
+		settle(s.loop.AdvanceTo(a.At))
+		t, _, rerr := s.admitLocked(a.At, a.Client, a.SQL, "")
+		if rerr != nil {
+			out[i] = Played{Status: rerr.status, RetryAfter: rerr.retryAfter, Body: string(errBody(rerr.msg))}
+		} else {
+			idx[t.ID] = i
+			s.inflight[t.ID] = &pending{client: a.Client}
+		}
+		settle(s.loop.React())
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	settle(s.loop.RunToIdle())
+	s.mu.Unlock()
+	return out
+}

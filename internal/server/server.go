@@ -1,0 +1,504 @@
+// Package server is eimdb's online SQL serving front end: an HTTP/JSON
+// door onto core.Engine's incremental scheduling loop (core.Loop), the
+// piece that turns the one-shot batch Drain into continuously served
+// open-loop traffic — arrivals, admission control, shared-scan batching
+// of queued lookalikes, revocable-lease resizes, and completions all
+// interleave per request.
+//
+// Endpoints:
+//
+//	POST /query   {"sql": "...", "objective": "min-energy", "client": "key"}
+//	GET  /stats   plan-cache counters, energy books, per-client budgets
+//	GET  /healthz liveness
+//
+// Time discipline: the server never reads a wall clock — all timing
+// flows through the Clock interface, so tests drive a SimClock and the
+// whole front end becomes a deterministic discrete-event simulation
+// (fixed seed + fixed arrival script ⇒ byte-identical response bodies
+// and attributed energy books at every core budget and batching
+// setting).  Response BODIES therefore carry only schedule-invariant
+// facts: the relation, the attributed work counters, and the per-query
+// energy bill.  Schedule-dependent facts (latency, DOP, group size,
+// sharing, cache outcome) travel as X-Eimdb-* response headers.
+//
+// Per-client energy budgets charge the PLAN ESTIMATE at admission, not
+// the measured bill at completion: admission outcomes then depend only
+// on the arrival script, never on completion timing, which keeps
+// 402-style rejections deterministic across core budgets.  The measured
+// spend is still tracked per client in /stats.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/exec"
+	"repro/internal/opt"
+	"repro/internal/sql"
+)
+
+// Config parameterizes New.
+type Config struct {
+	// Sched is the multi-query scheduler configuration the loop runs
+	// under (core budget, queue depth, batching, arbitration).
+	Sched core.SchedulerConfig
+	// Objective is the default optimizer objective for requests that do
+	// not name one.
+	Objective opt.Objective
+	// Clients is the API-key → attributed-energy allowance table.
+	// Requests carrying a key (X-API-Key header or "client" field) are
+	// admitted only while the client's committed estimates fit its
+	// allowance; past it they are rejected 402-style.  Requests with no
+	// key are anonymous and unmetered; unknown keys are 401s.
+	Clients map[string]energy.Joules
+}
+
+// planEntry is one cached prepared statement: a plan node (re-runnable,
+// never concurrently) plus the planner's report, keyed by objective and
+// by both the raw text and the ShareSig canonical signature.
+type planEntry struct {
+	node exec.Node
+	info *opt.PlanInfo
+}
+
+// clientBook is one API key's energy account.
+type clientBook struct {
+	allowance   energy.Joules
+	committed   energy.Joules // plan estimates charged at admission
+	spent       energy.Joules // measured attributed bills at completion
+	rejected402 uint64
+}
+
+// pending is one admitted request awaiting its virtual completion.
+type pending struct {
+	client string
+	ch     chan *core.Ticket // nil: nobody waits (replay, canceled)
+}
+
+// Server is the HTTP front end.  It implements http.Handler.
+type Server struct {
+	clock Clock
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	eng      *core.Engine
+	loop     *core.Loop
+	cfg      Config
+	texts    map[string]*planEntry // objective|raw text → entry
+	sigs     map[string]*planEntry // objective|ShareSig → entry
+	textHits uint64
+	sigHits  uint64
+	misses   uint64
+	clients  map[string]*clientBook
+	inflight map[int]*pending
+}
+
+// New builds a server over an engine whose tables are loaded and
+// sealed.  The clock is the server's only source of time.
+func New(eng *core.Engine, cfg Config, clock Clock) *Server {
+	s := &Server{
+		clock:    clock,
+		eng:      eng,
+		loop:     eng.NewLoop(cfg.Sched),
+		cfg:      cfg,
+		texts:    make(map[string]*planEntry),
+		sigs:     make(map[string]*planEntry),
+		clients:  make(map[string]*clientBook),
+		inflight: make(map[int]*pending),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP dispatches to the server's routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	SQL       string `json:"sql"`
+	Objective string `json:"objective,omitempty"`
+	Client    string `json:"client,omitempty"`
+}
+
+// queryResponse is the 200 body: schedule-invariant facts only, so the
+// bytes are identical at every core budget and batching setting.
+type queryResponse struct {
+	ID        int             `json:"id"`
+	Objective string          `json:"objective"`
+	Columns   []string        `json:"columns"`
+	Rows      [][]any         `json:"rows"`
+	Work      energy.Counters `json:"work"`
+	Energy    responseEnergy  `json:"energy"`
+}
+
+type responseEnergy struct {
+	Joules    float64          `json:"joules"`
+	Breakdown energy.Breakdown `json:"breakdown"`
+}
+
+// reqError is an admission-path failure with its HTTP mapping.
+type reqError struct {
+	status     int
+	msg        string
+	retryAfter int // seconds; > 0 adds a Retry-After header
+}
+
+// errBody renders the uniform error payload.
+func errBody(msg string) []byte {
+	b, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	return append(b, '\n')
+}
+
+// parseObjective maps a request's objective name (empty = the server
+// default) onto the optimizer objective.
+func (s *Server) parseObjective(name string) (opt.Objective, bool) {
+	switch name {
+	case "":
+		return s.cfg.Objective, true
+	case opt.MinTime.String():
+		return opt.MinTime, true
+	case opt.MinEnergy.String():
+		return opt.MinEnergy, true
+	case opt.MinEDP.String():
+		return opt.MinEDP, true
+	}
+	return 0, false
+}
+
+// lookupLocked resolves text+objective through the two-level plan
+// cache: exact text (skips parse and plan) first, then the ShareSig
+// canonical signature (skips plan — differently spelled but
+// canonically equal queries share one prepared plan), then a full
+// parse+plan miss that fills both levels.
+func (s *Server) lookupLocked(text string, obj opt.Objective) (*planEntry, bool, error) {
+	tkey := obj.String() + "|" + text
+	if e := s.texts[tkey]; e != nil {
+		s.textHits++
+		return e, true, nil
+	}
+	q, err := sql.Parse(text)
+	if err != nil {
+		return nil, false, err
+	}
+	skey := obj.String() + "|" + q.String()
+	if e := s.sigs[skey]; e != nil {
+		s.sigHits++
+		s.texts[tkey] = e
+		return e, true, nil
+	}
+	node, info, err := s.eng.Plan(q, obj)
+	if err != nil {
+		return nil, false, err
+	}
+	s.misses++
+	e := &planEntry{node: node, info: info}
+	s.texts[tkey] = e
+	s.sigs[skey] = e
+	return e, false, nil
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from the
+// virtual-time backlog: the admitted serial CPU seconds still owed,
+// spread over the core budget, rounded up (floor 1s).
+func retryAfterSeconds(backlog time.Duration, budget int) int {
+	if budget < 1 {
+		budget = 1
+	}
+	secs := int((backlog + time.Duration(budget)*time.Second - 1) / (time.Duration(budget) * time.Second))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// admitLocked runs the admission pipeline for one arrival at virtual
+// time `at`: objective resolution, plan-cache lookup (400 on parse or
+// plan failure), per-client budget check (402-style on exhaustion),
+// then the scheduler's own admission (429 + Retry-After on queue
+// overflow).  The client's estimate is committed only after the
+// scheduler accepts.  Callers must invoke React (directly or via
+// deliverLocked flows) after the last offer of an instant.
+func (s *Server) admitLocked(at time.Duration, client, text, objName string) (*core.Ticket, bool, *reqError) {
+	obj, ok := s.parseObjective(objName)
+	if !ok {
+		return nil, false, &reqError{status: http.StatusBadRequest,
+			msg: fmt.Sprintf("unknown objective %q (want min-time, min-energy, or min-edp)", objName)}
+	}
+	entry, hit, err := s.lookupLocked(text, obj)
+	if err != nil {
+		return nil, false, &reqError{status: http.StatusBadRequest, msg: err.Error()}
+	}
+	var book *clientBook
+	if client != "" {
+		book = s.clients[client]
+		if book == nil {
+			allowance, known := s.cfg.Clients[client]
+			if !known {
+				return nil, hit, &reqError{status: http.StatusUnauthorized,
+					msg: fmt.Sprintf("unknown api key %q", client)}
+			}
+			book = &clientBook{allowance: allowance}
+			s.clients[client] = book
+		}
+		if book.committed+entry.info.Est.Energy > book.allowance {
+			book.rejected402++
+			return nil, hit, &reqError{status: http.StatusPaymentRequired,
+				msg: fmt.Sprintf("energy budget exhausted: committed %.6g J of %.6g J allowance, query needs %.6g J",
+					float64(book.committed), float64(book.allowance), float64(entry.info.Est.Energy))}
+		}
+	}
+	t := s.loop.OfferPlanned(at, entry.node, entry.info, obj)
+	if t.Rejected {
+		return nil, hit, &reqError{status: http.StatusTooManyRequests,
+			msg:        "admission queue full",
+			retryAfter: retryAfterSeconds(s.loop.Backlog(), s.cfg.Sched.Budget)}
+	}
+	if book != nil {
+		book.committed += entry.info.Est.Energy
+	}
+	return t, hit, nil
+}
+
+// deliverLocked settles completed tickets: credits client spend, wakes
+// any waiting handler, and retires the inflight entry.
+func (s *Server) deliverLocked(done []*core.Ticket) {
+	for _, t := range done {
+		p := s.inflight[t.ID]
+		if p == nil {
+			continue
+		}
+		delete(s.inflight, t.ID)
+		if p.client != "" && t.Err == nil {
+			s.clients[p.client].spent += t.Energy.Total()
+		}
+		if p.ch != nil {
+			p.ch <- t
+		}
+	}
+}
+
+// pumpLocked arms the clock for the next scheduled completion.  Stale
+// or duplicate wakes are harmless: onWake re-derives everything from
+// the loop.
+func (s *Server) pumpLocked() {
+	if f, ok := s.loop.NextFinish(); ok {
+		s.clock.Schedule(f, s.onWake)
+	}
+}
+
+// onWake advances the loop to the clock and settles whatever finished.
+func (s *Server) onWake() {
+	now := s.clock.Now()
+	s.mu.Lock()
+	s.deliverLocked(s.loop.AdvanceTo(now))
+	s.pumpLocked()
+	s.mu.Unlock()
+}
+
+// renderTicket turns a settled ticket into its HTTP status and body.
+func renderTicket(t *core.Ticket) (int, []byte) {
+	if t.Err != nil {
+		return http.StatusInternalServerError, errBody(t.Err.Error())
+	}
+	resp := queryResponse{
+		ID:        t.ID,
+		Objective: t.Objective.String(),
+		Columns:   t.Rel.ColNames(),
+		Rows:      make([][]any, 0, t.Rel.N),
+		Work:      t.Work,
+		Energy:    responseEnergy{Joules: float64(t.Energy.Total()), Breakdown: t.Energy},
+	}
+	for r := 0; r < t.Rel.N; r++ {
+		resp.Rows = append(resp.Rows, t.Rel.Row(r))
+	}
+	b, _ := json.Marshal(resp)
+	return http.StatusOK, append(b, '\n')
+}
+
+// writeJSON writes a response body with its status.
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeReqError(w http.ResponseWriter, e *reqError) {
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", e.retryAfter))
+	}
+	writeJSON(w, e.status, errBody(e.msg))
+}
+
+// handleQuery is the serving hot path: decode, advance the loop to the
+// arrival instant, admit, react, then park until the virtual machine
+// completes the query (or the request context cancels the lease).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errBody("POST only"))
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody("bad request body: "+err.Error()))
+		return
+	}
+	if req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, errBody("missing sql"))
+		return
+	}
+	client := r.Header.Get("X-API-Key")
+	if client == "" {
+		client = req.Client
+	}
+	now := s.clock.Now() // sampled before s.mu: the clock may not be read under it
+
+	s.mu.Lock()
+	s.deliverLocked(s.loop.AdvanceTo(now))
+	t, hit, rerr := s.admitLocked(now, client, req.SQL, req.Objective)
+	if rerr != nil {
+		s.deliverLocked(s.loop.React())
+		s.pumpLocked()
+		s.mu.Unlock()
+		writeReqError(w, rerr)
+		return
+	}
+	ch := make(chan *core.Ticket, 1)
+	s.inflight[t.ID] = &pending{client: client, ch: ch}
+	s.deliverLocked(s.loop.React())
+	s.pumpLocked()
+	s.mu.Unlock()
+
+	select {
+	case t = <-ch:
+	case <-r.Context().Done():
+		// The client went away: revoke the lease (running operators
+		// stop at the next morsel boundary) and abandon the response.
+		s.mu.Lock()
+		if p := s.inflight[t.ID]; p != nil {
+			p.ch = nil
+			t.Cancel()
+		}
+		s.mu.Unlock()
+		return
+	}
+	status, body := renderTicket(t)
+	w.Header().Set("X-Eimdb-Latency", t.Latency.String())
+	w.Header().Set("X-Eimdb-Dop", fmt.Sprintf("%d", t.DOP))
+	w.Header().Set("X-Eimdb-Group-Size", fmt.Sprintf("%d", t.GroupSize))
+	w.Header().Set("X-Eimdb-Shared", fmt.Sprintf("%t", t.Shared))
+	w.Header().Set("X-Eimdb-Cache", cacheLabel(hit))
+	writeJSON(w, status, body)
+}
+
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// statsResponse is the GET /stats body.
+type statsResponse struct {
+	VirtualNowNS int64                  `json:"virtual_now_ns"`
+	Queued       int                    `json:"queued"`
+	Running      int                    `json:"running"`
+	Completed    int                    `json:"completed"`
+	Rejected     int                    `json:"rejected"`
+	PlanCache    statsCache             `json:"plan_cache"`
+	Energy       statsEnergy            `json:"energy"`
+	Work         statsWork              `json:"work"`
+	Clients      map[string]statsClient `json:"clients"`
+}
+
+type statsCache struct {
+	Hits     uint64 `json:"hits"`
+	TextHits uint64 `json:"text_hits"`
+	SigHits  uint64 `json:"sig_hits"`
+	Misses   uint64 `json:"misses"`
+	Entries  int    `json:"entries"`
+}
+
+type statsEnergy struct {
+	// AttributedDynamicJ is the sum of every completed query's
+	// standalone dynamic bill; FleetDynamicJ prices the work physically
+	// performed (shared groups charged once).  The gap is exactly
+	// SavedDynamicJ — the shared-scan batching saving.
+	AttributedDynamicJ float64 `json:"attributed_dynamic_j"`
+	FleetDynamicJ      float64 `json:"fleet_dynamic_j"`
+	SavedDynamicJ      float64 `json:"saved_dynamic_j"`
+	StaticJ            float64 `json:"static_j"`
+	FleetJ             float64 `json:"fleet_j"`
+}
+
+type statsWork struct {
+	Attributed energy.Counters `json:"attributed"`
+	Physical   energy.Counters `json:"physical"`
+}
+
+type statsClient struct {
+	AllowanceJ  float64 `json:"allowance_j"`
+	CommittedJ  float64 `json:"committed_j"`
+	SpentJ      float64 `json:"spent_j"`
+	Rejected402 uint64  `json:"rejected_402"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errBody("GET only"))
+		return
+	}
+	s.mu.Lock()
+	rep := s.loop.Report()
+	resp := statsResponse{
+		VirtualNowNS: int64(s.loop.Now()),
+		Queued:       s.loop.Queued(),
+		Running:      s.loop.Running(),
+		Completed:    rep.Fleet.Completed,
+		Rejected:     rep.Fleet.Rejected,
+		PlanCache: statsCache{
+			Hits:     s.textHits + s.sigHits,
+			TextHits: s.textHits,
+			SigHits:  s.sigHits,
+			Misses:   s.misses,
+			Entries:  len(s.sigs),
+		},
+		Energy: statsEnergy{
+			AttributedDynamicJ: float64(rep.FleetDynamic + rep.SavedDynamic),
+			FleetDynamicJ:      float64(rep.FleetDynamic),
+			SavedDynamicJ:      float64(rep.SavedDynamic),
+			StaticJ:            float64(rep.Fleet.Static),
+			FleetJ:             float64(rep.FleetEnergy()),
+		},
+		Work:    statsWork{Attributed: rep.Attributed, Physical: rep.Physical},
+		Clients: make(map[string]statsClient, len(s.clients)),
+	}
+	for key, b := range s.clients {
+		resp.Clients[key] = statsClient{
+			AllowanceJ:  float64(b.allowance),
+			CommittedJ:  float64(b.committed),
+			SpentJ:      float64(b.spent),
+			Rejected402: b.rejected402,
+		}
+	}
+	s.mu.Unlock()
+	b, _ := json.Marshal(resp) // map keys marshal sorted: deterministic bytes
+	writeJSON(w, http.StatusOK, append(b, '\n'))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}

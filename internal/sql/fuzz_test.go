@@ -1,0 +1,70 @@
+package sql
+
+import (
+	"reflect"
+	"testing"
+)
+
+// seedQueries are the E-series experiment query shapes (point
+// aggregations, shared-scan lookalikes, join + group + order + limit
+// pipelines) plus literal edge forms; they seed both fuzz targets and
+// the committed corpus under testdata/fuzz.
+var seedQueries = []string{
+	"SELECT COUNT(*), SUM(amount) FROM orders WHERE custkey = 7",
+	"SELECT * FROM orders",
+	"SELECT * FROM orders WHERE custkey = 42 LIMIT 10",
+	"SELECT region, SUM(amount) AS rev, COUNT(*) AS n FROM orders JOIN customer ON orders.custkey = customer.ckey WHERE amount > 10.5 AND region = 'ASIA' GROUP BY region ORDER BY rev DESC, region LIMIT 7",
+	"SELECT MIN(amount), MAX(amount), AVG(amount) FROM orders WHERE amount >= 1e+10",
+	"SELECT id FROM orders WHERE amount <> -0.5 ORDER BY id ASC LIMIT 3",
+	"SELECT custkey FROM orders WHERE amount <= 2.5e-3 AND id != -3",
+	"select count(*) from lineitem where qty < 5.0",
+	"SELECT a AS b FROM t WHERE s = '' ;",
+	"SELECT",
+	"SELECT * FROM t WHERE a = 1e999",
+	"SELECT * FROM t LIMIT -1",
+}
+
+// FuzzParse is the wire-input safety contract: Parse must return an
+// error, never panic, on arbitrary bytes (the serving front end feeds
+// it untrusted HTTP request bodies), and any query it does accept must
+// render back to text without panicking.
+func FuzzParse(f *testing.F) {
+	for _, s := range seedQueries {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		_ = q.String()
+	})
+}
+
+// FuzzRoundTrip pins the canonical-form property the plan cache and
+// shared-scan signatures rely on: for any input that parses, the
+// rendered canonical text must reparse to the same logical query, and
+// rendering must be a fixed point (canonical text of the reparse is
+// byte-identical).
+func FuzzRoundTrip(f *testing.F) {
+	for _, s := range seedQueries {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q1, err := Parse(input)
+		if err != nil {
+			return
+		}
+		canon := q1.String()
+		q2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical text %q of accepted input %q does not reparse: %v", canon, input, err)
+		}
+		if !reflect.DeepEqual(q1, q2) {
+			t.Fatalf("round trip changed the query for input %q:\n in: %#v\nout: %#v\nsql: %s", input, q1, q2, canon)
+		}
+		if again := q2.String(); again != canon {
+			t.Fatalf("canonical text is not a fixed point: %q reparses to %q", canon, again)
+		}
+	})
+}

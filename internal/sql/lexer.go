@@ -59,6 +59,23 @@ func lex(input string) ([]token, error) {
 				}
 				j++
 			}
+			// Optional exponent [eE][+-]?digits, consumed only when its
+			// digits are really there: "5e3" is one number, "5e" stays a
+			// number followed by an identifier.  Canonical float rendering
+			// (strconv 'g') emits forms like 1e+10, so the lexer must read
+			// them back.
+			if j < n && (input[j] == 'e' || input[j] == 'E') {
+				k := j + 1
+				if k < n && (input[k] == '+' || input[k] == '-') {
+					k++
+				}
+				if k < n && input[k] >= '0' && input[k] <= '9' {
+					for k < n && input[k] >= '0' && input[k] <= '9' {
+						k++
+					}
+					j = k
+				}
+			}
 			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
 			i = j
 		case isIdentStart(rune(c)):

@@ -277,7 +277,7 @@ func (p *parser) parsePred() (expr.Pred, error) {
 	pred := expr.Pred{Col: stripQual(col), Op: op}
 	switch v.kind {
 	case tokNumber:
-		if strings.Contains(v.text, ".") {
+		if strings.ContainsAny(v.text, ".eE") {
 			f, err := strconv.ParseFloat(v.text, 64)
 			if err != nil {
 				return pred, fmt.Errorf("sql: bad number %q", v.text)
@@ -299,9 +299,11 @@ func (p *parser) parsePred() (expr.Pred, error) {
 }
 
 // stripQual removes a table qualifier ("orders.custkey" -> "custkey");
-// the planner resolves ownership by schema membership.
+// the planner resolves ownership by schema membership.  A trailing dot
+// ("a.") is left alone: stripping it would yield an empty name, which
+// renders as canonical text that cannot reparse (fuzz-found).
 func stripQual(name string) string {
-	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 && i+1 < len(name) {
 		return name[i+1:]
 	}
 	return name

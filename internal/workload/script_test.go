@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPointStormGolden pins the head of the E21 storm script
+// (seed=17, qps=100000, s=1.3, nCust=40) exactly.  PointStorm is the
+// one arrival script behind E21, E22, the serving replay harness, and
+// eimdb-bench -replay; a drift here silently re-randomizes every
+// scheduler experiment and the committed benchmark baselines.
+func TestPointStormGolden(t *testing.T) {
+	want := []Arrival{
+		{At: 3130, SQL: "SELECT COUNT(*), SUM(amount) FROM orders WHERE custkey = 4"},
+		{At: 6230, SQL: "SELECT COUNT(*), SUM(amount) FROM orders WHERE custkey = 5"},
+		{At: 6981, SQL: "SELECT COUNT(*), SUM(amount) FROM orders WHERE custkey = 0"},
+		{At: 23325, SQL: "SELECT COUNT(*), SUM(amount) FROM orders WHERE custkey = 0"},
+	}
+	s := PointStorm(17, len(want), 100_000, 1.3, 40)
+	if len(s.Arrivals) != len(want) {
+		t.Fatalf("script length %d, want %d", len(s.Arrivals), len(want))
+	}
+	for i, w := range want {
+		if s.Arrivals[i] != w {
+			t.Fatalf("arrival %d = %+v, want %+v (script drifted)", i, s.Arrivals[i], w)
+		}
+	}
+	var prev time.Duration
+	for i, a := range s.Arrivals {
+		if a.At < prev {
+			t.Fatalf("arrival %d moved backward: %v after %v", i, a.At, prev)
+		}
+		prev = a.At
+	}
+}
+
+// TestAssignClients checks the round-robin client stamping.
+func TestAssignClients(t *testing.T) {
+	s := PointStorm(17, 5, 1000, 1.3, 40).AssignClients("a", "b")
+	want := []string{"a", "b", "a", "b", "a"}
+	for i, w := range want {
+		if got := s.Arrivals[i].Client; got != w {
+			t.Fatalf("arrival %d client %q, want %q", i, got, w)
+		}
+	}
+	if PointStorm(17, 2, 1000, 1.3, 40).AssignClients().Arrivals[0].Client != "" {
+		t.Fatal("empty client list must leave arrivals anonymous")
+	}
+}
