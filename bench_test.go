@@ -427,6 +427,32 @@ func BenchmarkE22Serving(b *testing.B) {
 	b.ReportMetric(float64(row.PhysBytes), "bytes-touched/op")
 }
 
+// BenchmarkE23WritableDelta runs the E23 write-path sweep at a 2-way
+// probe: bulk-load, 4096 DML statements into the delta, probe, then the
+// scheduler-admitted min-energy background merge, probe again.
+// bytes-touched/op is the post-merge probe's DRAM traffic (what the
+// re-seal buys), delta-bytes-touched/op the pre-merge probe over
+// main+delta, and merge-J the merge ticket's billed energy; all three
+// are deterministic, so the CI bench gate diffs them against the
+// committed baseline.
+func BenchmarkE23WritableDelta(b *testing.B) {
+	var res *experiments.E23Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.E23Sweep(1<<18, 4096, []int{2})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(res.Rows) == 0 || !res.MergeDeferred {
+		b.Fatalf("merge did not defer to foreground traffic: %+v", res)
+	}
+	r := res.Rows[0]
+	b.ReportMetric(float64(r.PostBytes), "bytes-touched/op")
+	b.ReportMetric(float64(r.PreBytes), "delta-bytes-touched/op")
+	b.ReportMetric(float64(res.MergeJ), "merge-J")
+}
+
 // BenchmarkScheduler measures the discrete-event scheduler core (the
 // substrate under E1/E5).
 func BenchmarkScheduler(b *testing.B) {

@@ -85,18 +85,16 @@ func loadDemo(e *core.Engine) error {
 		regions[i] = workload.RegionNames[o.Region[i]]
 		statuses[i] = workload.StatusNames[o.Status[i]]
 	}
-	steps := []error{
-		orders.LoadInt64("id", o.OrderID),
-		orders.LoadInt64("custkey", o.CustKey),
-		orders.LoadString("region", regions),
-		orders.LoadString("status", statuses),
-		orders.LoadFloat64("amount", o.Amount),
-		orders.LoadInt64("day", o.OrderDay),
-	}
-	for _, err := range steps {
-		if err != nil {
-			return err
-		}
+	err = orders.Writer().
+		Int64("id", o.OrderID...).
+		Int64("custkey", o.CustKey...).
+		String("region", regions...).
+		String("status", statuses...).
+		Float64("amount", o.Amount...).
+		Int64("day", o.OrderDay...).
+		Close()
+	if err != nil {
+		return err
 	}
 	cust, err := e.CreateTable("customer", colstore.Schema{
 		{Name: "ckey", Type: colstore.Int64},
@@ -105,14 +103,16 @@ func loadDemo(e *core.Engine) error {
 	if err != nil {
 		return err
 	}
+	cw := cust.Writer()
 	for k := 0; k < nCust; k++ {
 		seg := "RETAIL"
 		if k%4 == 0 {
 			seg = "WHOLESALE"
 		}
-		if err := cust.AppendRow(int64(k), seg); err != nil {
-			return err
-		}
+		cw.Row(int64(k), seg)
+	}
+	if err := cw.Close(); err != nil {
+		return err
 	}
 	if err := e.Seal("orders"); err != nil {
 		return err

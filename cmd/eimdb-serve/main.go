@@ -75,6 +75,7 @@ func main() {
 	batch := flag.Bool("batch", true, "shared-scan batching of queued lookalike queries")
 	arbitrate := flag.Bool("arbitrate", true, "P-state DOP arbitration (false = naive FCFS)")
 	objective := flag.String("objective", "min-energy", "default objective: min-time, min-energy, or min-edp")
+	mergeAt := flag.Int("merge-delta-rows", 4096, "delta rows before a background merge is offered (0 = never)")
 	clients := clientFlags{}
 	flag.Var(clients, "client", "API key energy allowance as key=joules (repeatable)")
 	flag.Parse()
@@ -104,8 +105,9 @@ func main() {
 			BatchScans: *batch,
 			Arbitrate:  *arbitrate,
 		},
-		Objective: obj,
-		Clients:   clients,
+		Objective:      obj,
+		Clients:        clients,
+		MergeDeltaRows: *mergeAt,
 	}, realClock{epoch: time.Now()})
 
 	fmt.Printf("eimdb-serve: %d-row orders table, budget %d, listening on %s\n", *rows, *budget, *addr)

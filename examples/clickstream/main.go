@@ -49,16 +49,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	steps := []error{
-		tab.LoadInt64("user", clicks.User),
-		tab.LoadInt64("url", clicks.URL),
-		tab.LoadInt64("ts", clicks.TS),
-		tab.LoadInt64("dwell", clicks.Dur),
-	}
-	for _, err := range steps {
-		if err != nil {
-			log.Fatal(err)
-		}
+	err = tab.Writer().
+		Int64("user", clicks.User...).
+		Int64("url", clicks.URL...).
+		Int64("ts", clicks.TS...).
+		Int64("dwell", clicks.Dur...).
+		Close()
+	if err != nil {
+		log.Fatal(err)
 	}
 	if err := e.Seal("clicks"); err != nil {
 		log.Fatal(err)

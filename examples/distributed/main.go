@@ -44,9 +44,15 @@ func main() {
 			log.Fatal(err)
 		}
 		c := dist.NewCluster(nodes, schema, "orders", link)
+		writers := make([]*colstore.Writer, nodes)
+		for n := range writers {
+			writers[n] = c.Nodes[n].Table.Writer()
+		}
 		for i := 0; i < rows; i++ {
-			node := c.Nodes[i%nodes]
-			if err := node.Table.AppendRow(o.CustKey[i], workload.RegionNames[o.Region[i]], o.Amount[i]); err != nil {
+			writers[i%nodes].Row(o.CustKey[i], workload.RegionNames[o.Region[i]], o.Amount[i])
+		}
+		for _, w := range writers {
+			if err := w.Close(); err != nil {
 				log.Fatal(err)
 			}
 		}

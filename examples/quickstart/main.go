@@ -25,11 +25,12 @@ func main() {
 		log.Fatal(err)
 	}
 	categories := []string{"books", "games", "garden", "kitchen"}
+	w := tab.Writer()
 	for i := 0; i < 100_000; i++ {
-		err := tab.AppendRow(int64(i), categories[i%len(categories)], float64(5+i%200))
-		if err != nil {
-			log.Fatal(err)
-		}
+		w.Row(int64(i), categories[i%len(categories)], float64(5+i%200))
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
 	}
 	// Seal freezes columns into their packed scan-optimized layout and
 	// refreshes optimizer statistics.

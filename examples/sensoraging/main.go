@@ -34,14 +34,16 @@ func main() {
 	ts := int64(1_700_000_000)
 	var commitLat time.Duration
 	for b := 0; b < nBatches; b++ {
+		w := tab.Writer()
 		for i := 0; i < perBatch; i++ {
 			d := int64(i % nDev)
 			ts++
 			temp := 20 + float64(d%10) + float64(i%7)*0.1
-			if err := tab.AppendRow(d, ts, temp); err != nil {
-				log.Fatal(err)
-			}
+			w.Row(d, ts, temp)
 			logger.Append(wal.Record{TxID: uint64(b), Key: "reading", Value: ts})
+		}
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
 		}
 		rep, err := logger.Commit(wal.Local)
 		if err != nil {

@@ -233,19 +233,19 @@ func TestTableBasics(t *testing.T) {
 		{Name: "amount", Type: Float64},
 		{Name: "region", Type: String},
 	})
-	if err := tab.AppendRow(int64(1), 9.5, "ASIA"); err != nil {
+	if err := tab.Writer().Row(int64(1), 9.5, "ASIA").Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tab.AppendRow(int64(2), 1.25, "EUROPE"); err != nil {
+	if err := tab.Writer().Row(int64(2), 1.25, "EUROPE").Close(); err != nil {
 		t.Fatal(err)
 	}
 	if tab.Rows() != 2 {
 		t.Fatalf("rows = %d", tab.Rows())
 	}
-	if err := tab.AppendRow(int64(3)); err == nil {
+	if err := tab.Writer().Row(int64(3)).Close(); err == nil {
 		t.Error("short row must error")
 	}
-	if err := tab.AppendRow("x", 1.0, "y"); err == nil {
+	if err := tab.Writer().Row("x", 1.0, "y").Close(); err == nil {
 		t.Error("type mismatch must error")
 	}
 	ic, err := tab.IntCol("id")
@@ -271,16 +271,16 @@ func TestTableBulkLoadAndSealValidation(t *testing.T) {
 		{Name: "a", Type: Int64},
 		{Name: "b", Type: Float64},
 	})
-	if err := tab.LoadInt64("a", []int64{1, 2, 3}); err != nil {
+	if err := tab.Writer().Int64("a", []int64{1, 2, 3}...).Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tab.LoadFloat64("b", []float64{1, 2}); err != nil {
+	if err := tab.Writer().Float64("b", []float64{1, 2}...).Close(); err != nil {
 		t.Fatal(err)
 	}
 	if err := tab.Seal(); err == nil {
 		t.Error("ragged table must fail Seal")
 	}
-	if err := tab.LoadFloat64("b", []float64{3}); err != nil {
+	if err := tab.Writer().Float64("b", []float64{3}...).Close(); err != nil {
 		t.Fatal(err)
 	}
 	if err := tab.Seal(); err != nil {

@@ -5,16 +5,55 @@ import (
 	"sync"
 )
 
-// Table is a named collection of equally long columns.  Loads are
-// column-wise (the generators in internal/workload produce
-// struct-of-arrays data); row-wise appends exist for the transactional
-// paths.  A RWMutex guards structural changes; scans take the read side.
+// Table is a named collection of equally long columns, organized as the
+// HANA-style main/delta pair (§II): Seal freezes the loaded rows into the
+// compressed, scan-optimized main; rows appended afterwards land in the
+// write-optimized delta — the raw tail segments every column keeps past
+// its sealed prefix — and union with the main in every scan path.  Writes
+// enter through Writer (bulk) or ApplyInsert/ApplyDelete (the
+// transactional path, which stamps MVCC visibility metadata); Merge
+// re-seals the delta into advisor-chosen codecs.  A RWMutex guards
+// structural changes; scans take the read side.
 type Table struct {
 	Name string
 
 	mu     sync.RWMutex
 	schema Schema
 	cols   []Column
+
+	// Main/delta bookkeeping.  sealed flips at the first Seal; sealedRows
+	// is the merge boundary (rows below it live in compressed segments,
+	// rows at or above it in the raw delta).
+	sealed     bool
+	sealedRows int
+
+	// MVCC visibility metadata, lazily populated by the transactional
+	// write path so read-only tables pay nothing.  addRows/addTS list the
+	// rows visible only at snapshots >= their commit timestamp; both are
+	// ascending in row order (appends commit in timestamp order, and
+	// Merge preserves relative row order), which is what makes RowsAsOf a
+	// binary search.  delRows/delTS are tombstones, kept sorted by row.
+	addRows []int32
+	addTS   []int64
+	delRows []int32
+	delTS   []int64
+
+	// rowIDs maps physical row -> stable row id.  nil means identity;
+	// Merge materializes it when compaction drops rows, so WAL records
+	// and transactions keep addressing rows across merges.  Always
+	// ascending, so lookup is a binary search.
+	rowIDs    []int64
+	nextRowID int64
+
+	// appliedLSN is the highest WAL LSN already applied to this table;
+	// replay skips records at or below it (idempotence).
+	appliedLSN uint64
+	// lastTS is the highest commit timestamp stamped into this table.
+	lastTS int64
+	// writeEpoch counts structural write events (appends, deletes,
+	// merges).  Secondary indexes record the epoch they were built at;
+	// a mismatch means the index no longer covers the table.
+	writeEpoch int64
 }
 
 // NewTable creates an empty table with the given schema.
@@ -45,14 +84,19 @@ func (t *Table) Schema() Schema {
 	return append(Schema(nil), t.schema...)
 }
 
-// Rows returns the number of rows.
-func (t *Table) Rows() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+func (t *Table) lenLocked() int {
 	if len(t.cols) == 0 {
 		return 0
 	}
 	return t.cols[0].Len()
+}
+
+// Rows returns the number of physical rows (main + delta, including rows
+// hidden by tombstones until the next merge drops them).
+func (t *Table) Rows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.lenLocked()
 }
 
 // Bytes returns the total memory footprint of all columns.
@@ -116,80 +160,66 @@ func (t *Table) StrCol(name string) (*StringColumn, error) {
 	return sc, nil
 }
 
-// LoadInt64 bulk-loads values into the named BIGINT column.
-func (t *Table) LoadInt64(name string, vs []int64) error {
-	c, err := t.IntCol(name)
-	if err != nil {
+// appendRowLocked appends one row given values in schema order.  Values
+// must be int64, float64, or string matching the column types.
+func (t *Table) appendRowLocked(vals []any) error {
+	if err := t.checkRowLocked(vals); err != nil {
 		return err
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	c.AppendSlice(vs)
-	return nil
-}
-
-// LoadFloat64 bulk-loads values into the named DOUBLE column.
-func (t *Table) LoadFloat64(name string, vs []float64) error {
-	c, err := t.FloatCol(name)
-	if err != nil {
-		return err
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	c.AppendSlice(vs)
-	return nil
-}
-
-// LoadString bulk-loads values into the named VARCHAR column.
-func (t *Table) LoadString(name string, vs []string) error {
-	c, err := t.StrCol(name)
-	if err != nil {
-		return err
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	c.AppendSlice(vs)
-	return nil
-}
-
-// AppendRow appends one row given values in schema order.  Values must be
-// int64, float64, or string matching the column types.
-func (t *Table) AppendRow(vals ...any) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if len(vals) != len(t.cols) {
-		return fmt.Errorf("colstore: row has %d values, schema %s has %d", len(vals), t.Name, len(t.cols))
 	}
 	for i, v := range vals {
 		switch c := t.cols[i].(type) {
 		case *IntColumn:
-			x, ok := v.(int64)
-			if !ok {
-				return fmt.Errorf("colstore: column %q wants int64, got %T", t.schema[i].Name, v)
-			}
-			c.Append(x)
+			c.Append(v.(int64))
 		case *FloatColumn:
-			x, ok := v.(float64)
-			if !ok {
-				return fmt.Errorf("colstore: column %q wants float64, got %T", t.schema[i].Name, v)
-			}
-			c.Append(x)
+			c.Append(v.(float64))
 		case *StringColumn:
-			x, ok := v.(string)
-			if !ok {
-				return fmt.Errorf("colstore: column %q wants string, got %T", t.schema[i].Name, v)
-			}
-			c.Append(x)
+			c.Append(v.(string))
 		}
 	}
 	return nil
 }
 
+// checkRowLocked validates a row against the schema without applying it,
+// so transactional commits can verify every operation before mutating
+// anything (no torn multi-row commits).
+func (t *Table) checkRowLocked(vals []any) error {
+	if len(vals) != len(t.cols) {
+		return fmt.Errorf("colstore: row has %d values, schema %s has %d", len(vals), t.Name, len(t.cols))
+	}
+	for i, v := range vals {
+		var ok bool
+		switch t.cols[i].(type) {
+		case *IntColumn:
+			_, ok = v.(int64)
+		case *FloatColumn:
+			_, ok = v.(float64)
+		case *StringColumn:
+			_, ok = v.(string)
+		}
+		if !ok {
+			return fmt.Errorf("colstore: column %q wants %v, got %T", t.schema[i].Name, t.cols[i].Type(), v)
+		}
+	}
+	return nil
+}
+
+// CheckRow validates a row against the schema without applying it.
+func (t *Table) CheckRow(vals ...any) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.checkRowLocked(vals)
+}
+
 // Seal freezes every column into its scan-optimized representation and
-// validates that all columns have equal length.
+// validates that all columns have equal length.  Rows appended after Seal
+// land in the delta (raw tail segments) until the next Merge.
 func (t *Table) Seal() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.sealLocked()
+}
+
+func (t *Table) sealLocked() error {
 	n := -1
 	for i, c := range t.cols {
 		if n == -1 {
@@ -205,5 +235,56 @@ func (t *Table) Seal() error {
 			cc.SealSorted()
 		}
 	}
+	t.sealed = true
+	if n < 0 {
+		n = 0
+	}
+	t.sealedRows = n
 	return nil
+}
+
+// Sealed reports whether Seal has run at least once.
+func (t *Table) Sealed() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.sealed
+}
+
+// DeltaRows returns the number of rows in the write-optimized delta:
+// appended after the last Seal/Merge, stored raw, waiting for compaction.
+func (t *Table) DeltaRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.lenLocked() - t.sealedRows
+}
+
+// MainRows returns the number of rows in the compressed main.
+func (t *Table) MainRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.sealedRows
+}
+
+// WriteEpoch returns the table's write-event counter.  Secondary indexes
+// record it at build time; internal/opt refuses index access paths whose
+// recorded epoch no longer matches.
+func (t *Table) WriteEpoch() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.writeEpoch
+}
+
+// AppliedLSN returns the highest WAL LSN applied to this table.
+func (t *Table) AppliedLSN() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.appliedLSN
+}
+
+// LastCommitTS returns the highest commit timestamp stamped into the
+// table (0 when only bulk-loaded rows exist).
+func (t *Table) LastCommitTS() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.lastTS
 }

@@ -1,0 +1,226 @@
+package colstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Writer is the single write entry point of a table: it stages column
+// batches and/or whole rows, validates them, and publishes everything in
+// one atomic Close.  On an unsealed table Close bulk-loads straight into
+// the main (the struct-of-arrays load path the workload generators use);
+// on a sealed table Close appends the batch to the delta under one commit
+// timestamp, so plain Writer appends become visible atomically.  The
+// transactional, WAL-durable path is ApplyInsert/ApplyDelete via
+// internal/txn; a raw Writer on a sealed table is for tests and local
+// tools and must not be mixed with engine transactions on the same
+// table.
+//
+// Methods are chainable and errors are sticky: the first staging error is
+// returned by Close, which performs no partial work after any error.
+type Writer struct {
+	t      *Table
+	err    error
+	closed bool
+	ints   map[int][]int64
+	floats map[int][]float64
+	strs   map[int][]string
+	rows   [][]any
+}
+
+// Writer returns a fresh batch writer for the table.
+func (t *Table) Writer() *Writer { return &Writer{t: t} }
+
+func (w *Writer) colIndex(name string, want Type) (int, bool) {
+	if w.err != nil {
+		return 0, false
+	}
+	if w.closed {
+		w.err = fmt.Errorf("colstore: writer for %s used after Close", w.t.Name)
+		return 0, false
+	}
+	w.t.mu.RLock()
+	i := w.t.schema.ColIndex(name)
+	var got Type
+	if i >= 0 {
+		got = w.t.cols[i].Type()
+	}
+	w.t.mu.RUnlock()
+	if i < 0 {
+		w.err = fmt.Errorf("colstore: table %s has no column %q", w.t.Name, name)
+		return 0, false
+	}
+	if got != want {
+		w.err = fmt.Errorf("colstore: column %s.%s is %v, not %v", w.t.Name, name, got, want)
+		return 0, false
+	}
+	return i, true
+}
+
+// Int64 stages values for the named BIGINT column.
+func (w *Writer) Int64(name string, vs ...int64) *Writer {
+	if i, ok := w.colIndex(name, Int64); ok {
+		if w.ints == nil {
+			w.ints = map[int][]int64{}
+		}
+		if cur, staged := w.ints[i]; staged {
+			w.ints[i] = append(cur, vs...)
+		} else {
+			w.ints[i] = vs
+		}
+	}
+	return w
+}
+
+// Float64 stages values for the named DOUBLE column.
+func (w *Writer) Float64(name string, vs ...float64) *Writer {
+	if i, ok := w.colIndex(name, Float64); ok {
+		if w.floats == nil {
+			w.floats = map[int][]float64{}
+		}
+		if cur, staged := w.floats[i]; staged {
+			w.floats[i] = append(cur, vs...)
+		} else {
+			w.floats[i] = vs
+		}
+	}
+	return w
+}
+
+// String stages values for the named VARCHAR column.
+func (w *Writer) String(name string, vs ...string) *Writer {
+	if i, ok := w.colIndex(name, String); ok {
+		if w.strs == nil {
+			w.strs = map[int][]string{}
+		}
+		if cur, staged := w.strs[i]; staged {
+			w.strs[i] = append(cur, vs...)
+		} else {
+			w.strs[i] = vs
+		}
+	}
+	return w
+}
+
+// Row stages one row given values in schema order (int64, float64, or
+// string matching the column types).
+func (w *Writer) Row(vals ...any) *Writer {
+	if w.err == nil && w.closed {
+		w.err = fmt.Errorf("colstore: writer for %s used after Close", w.t.Name)
+	}
+	if w.err == nil {
+		if err := w.t.CheckRow(vals...); err != nil {
+			w.err = err
+			return w
+		}
+		w.rows = append(w.rows, vals)
+	}
+	return w
+}
+
+// stagedCols returns the staged column indices in schema order plus the
+// common batch length, validating that all staged batches agree.
+func (w *Writer) stagedCols() ([]int, int, error) {
+	var idxs []int
+	for i := range w.ints {
+		idxs = append(idxs, i)
+	}
+	for i := range w.floats {
+		idxs = append(idxs, i)
+	}
+	for i := range w.strs {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	k := -1
+	for _, i := range idxs {
+		var n int
+		switch w.t.cols[i].Type() {
+		case Int64:
+			n = len(w.ints[i])
+		case Float64:
+			n = len(w.floats[i])
+		case String:
+			n = len(w.strs[i])
+		}
+		if k == -1 {
+			k = n
+		} else if n != k {
+			return nil, 0, fmt.Errorf("colstore: writer for %s staged %d rows for %q, expected %d",
+				w.t.Name, n, w.t.schema[i].Name, k)
+		}
+	}
+	if k == -1 {
+		k = 0
+	}
+	return idxs, k, nil
+}
+
+// Close validates and publishes the staged batch, then invalidates the
+// writer.  Pre-seal, column batches may cover any subset of columns
+// (Seal validates final lengths, as bulk loaders fill columns one at a
+// time); post-seal the batch must form complete rows — every column
+// covered by equally long batches, or staged via Row — and is stamped
+// with one fresh commit timestamp into the delta.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("colstore: writer for %s closed twice", w.t.Name)
+	}
+	w.closed = true
+	t := w.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idxs, k, err := w.stagedCols()
+	if err != nil {
+		return err
+	}
+	if !t.sealed {
+		for _, i := range idxs {
+			switch c := t.cols[i].(type) {
+			case *IntColumn:
+				c.AppendSlice(w.ints[i])
+			case *FloatColumn:
+				c.AppendSlice(w.floats[i])
+			case *StringColumn:
+				c.AppendSlice(w.strs[i])
+			}
+		}
+		for _, row := range w.rows {
+			if err := t.appendRowLocked(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Sealed: the batch lands in the delta under one commit timestamp.
+	if len(idxs) > 0 && len(idxs) != len(t.cols) {
+		return fmt.Errorf("colstore: writer for sealed table %s covers %d of %d columns",
+			t.Name, len(idxs), len(t.cols))
+	}
+	ts := t.lastTS + 1
+	for r := 0; r < k; r++ {
+		row := make([]any, len(t.cols))
+		for _, i := range idxs {
+			switch t.cols[i].Type() {
+			case Int64:
+				row[i] = w.ints[i][r]
+			case Float64:
+				row[i] = w.floats[i][r]
+			case String:
+				row[i] = w.strs[i][r]
+			}
+		}
+		if _, err := t.applyInsertLocked(ts, 0, row); err != nil {
+			return err
+		}
+	}
+	for _, row := range w.rows {
+		if _, err := t.applyInsertLocked(ts, 0, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -34,11 +34,11 @@ func loadOrders(t testing.TB, e *Engine, n int) {
 			t.Fatal(err)
 		}
 	}
-	check(tab.LoadInt64("id", o.OrderID))
-	check(tab.LoadInt64("custkey", o.CustKey))
-	check(tab.LoadString("region", regions))
-	check(tab.LoadFloat64("amount", o.Amount))
-	check(tab.LoadInt64("day", o.OrderDay))
+	check(tab.Writer().Int64("id", o.OrderID...).Close())
+	check(tab.Writer().Int64("custkey", o.CustKey...).Close())
+	check(tab.Writer().String("region", regions...).Close())
+	check(tab.Writer().Float64("amount", o.Amount...).Close())
+	check(tab.Writer().Int64("day", o.OrderDay...).Close())
 	check(e.Seal("orders"))
 }
 

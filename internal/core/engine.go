@@ -20,6 +20,8 @@ import (
 	"repro/internal/opt"
 	"repro/internal/sched"
 	"repro/internal/sql"
+	"repro/internal/txn"
+	"repro/internal/wal"
 )
 
 // Engine is an energy-aware in-memory column-store database.
@@ -30,6 +32,13 @@ type Engine struct {
 	cm    *opt.CostModel
 	obj   opt.Objective
 	meter energy.Meter // lifetime work accumulator
+	// log and txm are the write path: DML commits through the transaction
+	// manager's MVCC clock and the REDO log's group-commit window.
+	log *wal.Log
+	txm *txn.Manager
+	// walLevel/walWindow configure the manager at Open.
+	walLevel  wal.Level
+	walWindow time.Duration
 	// pending holds queries queued by Submit/SubmitQuery until the next
 	// Drain schedules the whole backlog; IDs restart at zero per drain.
 	pending []Submission
@@ -49,15 +58,47 @@ func WithModel(m *energy.Model) Option {
 	}
 }
 
+// WithDurability sets the REDO log's QoS level and group-commit window
+// (defaults: local flush, 200µs window).
+func WithDurability(level wal.Level, window time.Duration) Option {
+	return func(e *Engine) {
+		e.walLevel = level
+		e.walWindow = window
+	}
+}
+
+// WithLog attaches an existing REDO log instead of a fresh one — the
+// crash-recovery path: open a new engine over the survivor's log,
+// recreate the schema, and Recover.
+func WithLog(log *wal.Log) Option { return func(e *Engine) { e.log = log } }
+
 // Open creates an engine.
 func Open(opts ...Option) *Engine {
 	m := energy.DefaultModel()
-	e := &Engine{cat: opt.NewCatalog(), model: m, cm: opt.NewCostModel(m), obj: opt.MinTime}
+	e := &Engine{
+		cat: opt.NewCatalog(), model: m, cm: opt.NewCostModel(m), obj: opt.MinTime,
+		walLevel: wal.Local, walWindow: 200 * time.Microsecond,
+	}
 	for _, o := range opts {
 		o(e)
 	}
+	if e.log == nil {
+		e.log = wal.NewLog(wal.DefaultConfig())
+	}
+	e.txm = txn.NewManager(e.log, e.walLevel, e.walWindow)
 	return e
 }
+
+// Txn exposes the transaction manager (snapshot clock, group-commit
+// stats).
+func (e *Engine) Txn() *txn.Manager { return e.txm }
+
+// Log exposes the engine's REDO log (crash simulation in tests).
+func (e *Engine) Log() *wal.Log { return e.log }
+
+// SnapshotTS returns the current commit snapshot: queries admitted now
+// read exactly the writes at or below it.
+func (e *Engine) SnapshotTS() int64 { return e.txm.SnapshotTS() }
 
 // Objective returns the current optimizer objective.
 func (e *Engine) Objective() opt.Objective { return e.obj }

@@ -47,6 +47,14 @@ type Ticket struct {
 	// the group's granted width when execution starts; Cancel revokes it
 	// (running operators stop at the next morsel boundary).
 	Lease *exec.Lease
+	// SnapTS is the MVCC snapshot the query was admitted at: it reads
+	// exactly the writes committed at or before its arrival, however long
+	// it queues and whatever commits meanwhile.
+	SnapTS int64
+	// IsMerge marks a background delta-merge ticket (see OfferMerge);
+	// MergeTable names its target.
+	IsMerge    bool
+	MergeTable string
 
 	node     exec.Node
 	canceled bool
@@ -159,16 +167,18 @@ func (l *Loop) offerPlanned(id int, at time.Duration, node exec.Node, info *opt.
 	if id >= l.nextID {
 		l.nextID = id + 1
 	}
-	t := &Ticket{Lease: exec.NewLease(1), node: node}
+	t := &Ticket{Lease: exec.NewLease(1), node: node, SnapTS: l.e.txm.SnapshotTS()}
 	t.ID = id
 	t.Objective = obj
 	t.PlanInfo = info
 	l.register(t)
+	// The snapshot is part of the share key: a lookalike admitted after
+	// an intervening commit reads different data and must not ride.
 	s := l.mq.Offer(sched.Task{
 		Seq:      id,
 		Arrival:  at,
 		Work:     info.Est.Work,
-		ShareKey: fmt.Sprintf("%d|%s", obj, info.ShareSig),
+		ShareKey: fmt.Sprintf("%d|%d|%s", obj, t.SnapTS, info.ShareSig),
 		Goal:     goalOf(obj),
 	})
 	if s.Rejected {
@@ -176,6 +186,65 @@ func (l *Loop) offerPlanned(id int, at time.Duration, node exec.Node, info *opt.
 		t.done = true
 	}
 	return t
+}
+
+// OfferMerge plans the delta merge of a table and submits it as a
+// BACKGROUND task under min-energy — "merge as a query": it passes
+// through the same admission, pricing, and dispatch as user queries, but
+// the dispatcher defers it while any foreground query waits and races it
+// to idle on an empty queue.  The merge horizon (oldest live snapshot)
+// is resolved at execution time, so readers admitted before the merge
+// runs keep their consistent view.
+func (l *Loop) OfferMerge(at time.Duration, table string) *Ticket {
+	e := l.e
+	id := l.nextID
+	l.nextID = id + 1
+	node, info, err := opt.PlanMerge(e.cat, e.cm, table, l.oldestLiveSnap)
+	if err != nil {
+		t := &Ticket{Lease: exec.NewLease(1), done: true, IsMerge: true, MergeTable: table}
+		t.ID = id
+		t.Rejected = true
+		t.Err = fmt.Errorf("core: merge submission %d: %w", id, err)
+		l.register(t)
+		return t
+	}
+	t := &Ticket{Lease: exec.NewLease(1), node: node, IsMerge: true, MergeTable: table}
+	t.ID = id
+	t.Objective = opt.MinEnergy
+	t.PlanInfo = info
+	l.register(t)
+	s := l.mq.Offer(sched.Task{
+		Seq:        id,
+		Arrival:    at,
+		Work:       info.Est.Work,
+		ShareKey:   fmt.Sprintf("%d|merge|%s", opt.MinEnergy, info.ShareSig),
+		Goal:       sched.GoalEnergy,
+		MaxDOP:     1, // Merge is serial; extra cores would idle.
+		Background: true,
+	})
+	if s.Rejected {
+		t.Rejected = true
+		t.done = true
+	}
+	return t
+}
+
+// oldestLiveSnap returns the oldest snapshot any unfinished read ticket
+// holds — the merge horizon: tombstones at or below it are invisible to
+// every in-flight reader, so their rows may be compacted away.  Zero
+// (compact everything) when no reader is in flight.
+func (l *Loop) oldestLiveSnap() int64 {
+	var oldest int64
+	for _, id := range l.order {
+		t := l.tickets[id]
+		if t.done || t.IsMerge || t.SnapTS <= 0 {
+			continue
+		}
+		if oldest == 0 || t.SnapTS < oldest {
+			oldest = t.SnapTS
+		}
+	}
+	return oldest
 }
 
 func (l *Loop) register(t *Ticket) {
@@ -228,7 +297,13 @@ func (l *Loop) finalize(cs []sched.Completion) []*Ticket {
 			runner.Lease.Resize(runner.DOP)
 			ctx := exec.NewCtx()
 			ctx.Lease = runner.Lease
+			ctx.SnapTS = runner.SnapTS
 			rel, err := runner.node.Run(ctx)
+			if err == nil && runner.IsMerge {
+				// Compaction changed the physical layout; re-derive the
+				// stats the planner prices against.
+				err = e.cat.RefreshStats(runner.MergeTable)
+			}
 			if err != nil {
 				// An execution failure is isolated like a plan failure:
 				// this group reports the error, the loop keeps serving.

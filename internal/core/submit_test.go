@@ -25,13 +25,13 @@ func submitEngine(t testing.TB, n int) *Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tab.LoadInt64("id", o.OrderID); err != nil {
+	if err := tab.Writer().Int64("id", o.OrderID...).Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tab.LoadInt64("custkey", o.CustKey); err != nil {
+	if err := tab.Writer().Int64("custkey", o.CustKey...).Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tab.LoadFloat64("amount", o.Amount); err != nil {
+	if err := tab.Writer().Float64("amount", o.Amount...).Close(); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.Seal("orders"); err != nil {

@@ -38,7 +38,7 @@ func loadCluster(t *testing.T, nodes, rows int, link *netsim.Link) *Cluster {
 	o := workload.GenOrders(55, rows, 1000, 1.1)
 	for i := 0; i < rows; i++ {
 		n := c.Nodes[i%nodes]
-		err := n.Table.AppendRow(o.CustKey[i], workload.RegionNames[o.Region[i]], o.Amount[i])
+		err := n.Table.Writer().Row(o.CustKey[i], workload.RegionNames[o.Region[i]], o.Amount[i]).Close()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -124,7 +124,7 @@ func TestIntegerSum(t *testing.T) {
 	c := NewCluster(3, schema, "kv", link)
 	var want int64
 	for i := 0; i < 999; i++ {
-		if err := c.Nodes[i%3].Table.AppendRow(int64(i%5), int64(i)); err != nil {
+		if err := c.Nodes[i%3].Table.Writer().Row(int64(i%5), int64(i)).Close(); err != nil {
 			t.Fatal(err)
 		}
 		if i%5 < 3 {
@@ -184,7 +184,7 @@ func TestFloatGroupKeysWithNaN(t *testing.T) {
 	c := NewCluster(2, schema, "t", link)
 	vals := []float64{1.5, math.NaN(), 2.5, math.NaN(), 1.5, math.NaN()}
 	for i, g := range vals {
-		if err := c.Nodes[i%2].Table.AppendRow(g, int64(1)); err != nil {
+		if err := c.Nodes[i%2].Table.Writer().Row(g, int64(1)).Close(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -280,7 +280,7 @@ func TestGroupBySumSameColumn(t *testing.T) {
 	schema := colstore.Schema{{Name: "x", Type: colstore.Int64}}
 	c := NewCluster(2, schema, "t", link)
 	for i := 0; i < 10; i++ {
-		if err := c.Nodes[i%2].Table.AppendRow(int64(i % 3)); err != nil {
+		if err := c.Nodes[i%2].Table.Writer().Row(int64(i % 3)).Close(); err != nil {
 			t.Fatal(err)
 		}
 	}

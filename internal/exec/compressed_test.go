@@ -33,16 +33,16 @@ func buildOrdersLike(t *testing.T, n int, seal bool) *colstore.Table {
 	for i := range amounts {
 		amounts[i] = float64(day[i]%97) * 1.25
 	}
-	if err := tab.LoadInt64("custkey", custkey); err != nil {
+	if err := tab.Writer().Int64("custkey", custkey...).Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tab.LoadInt64("day", day); err != nil {
+	if err := tab.Writer().Int64("day", day...).Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tab.LoadString("region", regions); err != nil {
+	if err := tab.Writer().String("region", regions...).Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tab.LoadFloat64("amount", amounts); err != nil {
+	if err := tab.Writer().Float64("amount", amounts...).Close(); err != nil {
 		t.Fatal(err)
 	}
 	if seal {

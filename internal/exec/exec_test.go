@@ -29,11 +29,11 @@ func ordersTable(t testing.TB, n int) *colstore.Table {
 	for i, r := range o.Region {
 		regions[i] = workload.RegionNames[r]
 	}
-	must(t, tab.LoadInt64("id", o.OrderID))
-	must(t, tab.LoadInt64("custkey", o.CustKey))
-	must(t, tab.LoadString("region", regions))
-	must(t, tab.LoadFloat64("amount", o.Amount))
-	must(t, tab.LoadInt64("day", o.OrderDay))
+	must(t, tab.Writer().Int64("id", o.OrderID...).Close())
+	must(t, tab.Writer().Int64("custkey", o.CustKey...).Close())
+	must(t, tab.Writer().String("region", regions...).Close())
+	must(t, tab.Writer().Float64("amount", o.Amount...).Close())
+	must(t, tab.Writer().Int64("day", o.OrderDay...).Close())
 	must(t, tab.Seal())
 	return tab
 }
@@ -277,7 +277,7 @@ func TestHashJoin(t *testing.T) {
 		if k%3 == 0 {
 			seg = "WHOLESALE"
 		}
-		must(t, cust.AppendRow(int64(k), seg))
+		must(t, cust.Writer().Row(int64(k), seg).Close())
 	}
 	must(t, cust.Seal())
 	join := &HashJoin{
@@ -316,7 +316,7 @@ func TestJoinThenAggregatePipeline(t *testing.T) {
 		if k%3 == 0 {
 			seg = "WHOLESALE"
 		}
-		must(t, cust.AppendRow(int64(k), seg))
+		must(t, cust.Writer().Row(int64(k), seg).Close())
 	}
 	must(t, cust.Seal())
 	plan := &Sort{Keys: []expr.SortKey{{Col: "segment"}},

@@ -23,10 +23,10 @@ func leaseTable(t *testing.T, n int) *colstore.Table {
 		ks[i] = int64(i % 97)
 		vs[i] = float64(i)
 	}
-	if err := tab.LoadInt64("k", ks); err != nil {
+	if err := tab.Writer().Int64("k", ks...).Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tab.LoadFloat64("v", vs); err != nil {
+	if err := tab.Writer().Float64("v", vs...).Close(); err != nil {
 		t.Fatal(err)
 	}
 	if err := tab.Seal(); err != nil {

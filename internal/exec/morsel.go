@@ -166,9 +166,13 @@ func (s *ParallelScan) Run(ctx *Ctx) (*Relation, error) {
 	}
 
 	asCode := codeFlags(names, outCols, s.Codes)
-	n := s.Table.Rows()
+	// The snapshot fixes the scan prefix — and with it the morsel grid —
+	// at admission, so concurrent writes never perturb results, counters,
+	// or the work distribution.
+	n := s.Table.RowsAsOf(ctx.SnapTS)
+	snap := ctx.SnapTS
 	parts, total := runMorsels(ctx, n, func(m, lo, hi int) (*Relation, energy.Counters) {
-		return s.runMorsel(predCols, outCols, names, asCode, lo, hi)
+		return s.runMorsel(predCols, outCols, names, asCode, snap, lo, hi)
 	})
 	if ctx.Canceled() {
 		return nil, ErrCanceled
@@ -217,8 +221,8 @@ func checkPredType(c colstore.Column, p expr.Pred) error {
 	return nil
 }
 
-// runMorsel filters and materializes rows [lo, hi).
-func (s *ParallelScan) runMorsel(predCols, outCols []colstore.Column, names []string, asCode []bool, lo, hi int) (*Relation, energy.Counters) {
+// runMorsel filters and materializes rows [lo, hi) visible at snap.
+func (s *ParallelScan) runMorsel(predCols, outCols []colstore.Column, names []string, asCode []bool, snap int64, lo, hi int) (*Relation, energy.Counters) {
 	nrows := hi - lo
 	sel := vec.NewBitvec(nrows)
 	sel.SetAll()
@@ -238,6 +242,10 @@ func (s *ParallelScan) runMorsel(predCols, outCols []colstore.Column, names []st
 	if len(s.Preds) == 0 {
 		w.TuplesIn += uint64(nrows)
 	}
+	// Tombstone masking charges per visible tombstone in the window — a
+	// function of (snapshot, grid), so the morsel sweep stays
+	// counter-identical to the serial scan at every DOP.
+	w.Add(s.Table.FilterVisible(snap, lo, hi, sel))
 	rows := sel.Indices()
 	out := &Relation{N: len(rows), Cols: make([]Col, len(names))}
 	for ci, col := range outCols {

@@ -27,7 +27,14 @@ type Ctx struct {
 	// multi-query scheduler resizes while the query runs.  Canceling the
 	// lease makes parallel operators stop at the next morsel boundary
 	// and return ErrCanceled.
-	Lease     *Lease
+	Lease *Lease
+	// SnapTS is the MVCC snapshot the query reads at: scans cover the row
+	// prefix committed at or before it and mask tombstones younger than
+	// it.  Zero (colstore.SnapLatest) reads everything committed so far.
+	// Fixed at admission, it makes results and counters a pure function
+	// of the snapshot — invariant under DOP and under writes that land
+	// while the query runs.
+	SnapTS    int64
 	OpReports []OpReport // per-operator trace, in completion order
 }
 

@@ -169,14 +169,14 @@ func dictTables(t *testing.T, nFact, nDim int, seal bool) (fact, dim *colstore.T
 	rng := workload.NewRNG(99)
 	for i := 0; i < nFact; i++ {
 		// Drawn from a superset of dim's names: some fact rows dangle.
-		must(t, fact.AppendRow(names[rng.Intn(len(names))], int64(i)))
+		must(t, fact.Writer().Row(names[rng.Intn(len(names))], int64(i)).Close())
 	}
 	dim = colstore.NewTable("dim", colstore.Schema{
 		{Name: "name", Type: colstore.String},
 		{Name: "score", Type: colstore.Int64},
 	})
 	for i := 0; i < nDim; i++ {
-		must(t, dim.AppendRow(names[i], int64(i*11)))
+		must(t, dim.Writer().Row(names[i], int64(i*11)).Close())
 	}
 	if seal {
 		must(t, fact.Seal())

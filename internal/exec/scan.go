@@ -30,6 +30,11 @@ type AccessSpec struct {
 	// predicate on IndexCol; all other predicates are verified per row.
 	Index    index.Index
 	IndexCol string
+	// IndexEpoch is the table write epoch the index was built at.  If the
+	// table has been written or merged since (epoch mismatch at run time),
+	// the index is stale — it never sees the delta and compaction renumbers
+	// rows — and the scan falls back to the full-scan path.
+	IndexEpoch int64
 }
 
 // Scan reads from a base table with conjunctive predicates pushed down.
@@ -62,10 +67,12 @@ func (s *Scan) Kids() []Node { return nil }
 
 // Run implements Node.
 func (s *Scan) Run(ctx *Ctx) (*Relation, error) {
-	n := s.Table.Rows()
+	// The snapshot fixes the scan prefix: rows committed after admission
+	// sit beyond n and are never touched.
+	n := s.Table.RowsAsOf(ctx.SnapTS)
 	var rows []int32
 	var err error
-	if s.Access.Kind == IndexAccess {
+	if s.Access.Kind == IndexAccess && s.Table.WriteEpoch() == s.Access.IndexEpoch {
 		rows, err = s.indexRows(ctx, n)
 	} else {
 		rows, err = s.scanRows(ctx, n)
@@ -73,17 +80,17 @@ func (s *Scan) Run(ctx *Ctx) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.materialize(ctx, rows)
+	return s.materialize(ctx, rows, n)
 }
 
-// scanRows evaluates all predicates with column scans and returns the
-// selected row ids.
+// scanRows evaluates all predicates with column scans over the snapshot
+// prefix [0, n), masks tombstones, and returns the selected row ids.
 func (s *Scan) scanRows(ctx *Ctx, n int) ([]int32, error) {
 	sel := vec.NewBitvec(n)
 	sel.SetAll()
 	for _, p := range s.Preds {
 		pb := vec.NewBitvec(n)
-		ctr, err := s.scanPred(p, pb)
+		ctr, err := s.scanPred(p, n, pb)
 		if err != nil {
 			return nil, err
 		}
@@ -93,11 +100,17 @@ func (s *Scan) scanRows(ctx *Ctx, n int) ([]int32, error) {
 	if len(s.Preds) == 0 {
 		ctx.Charge("scan:all", n, energy.Counters{TuplesIn: uint64(n)})
 	}
+	if w := s.Table.FilterVisible(ctx.SnapTS, 0, n, sel); w != (energy.Counters{}) {
+		ctx.Charge("visibility:"+s.Table.Name, sel.Count(), w)
+	}
 	return sel.Indices(), nil
 }
 
-// scanPred dispatches one predicate to the typed column scan.
-func (s *Scan) scanPred(p expr.Pred, out *vec.Bitvec) (energy.Counters, error) {
+// scanPred dispatches one predicate to the typed column window kernel
+// over the snapshot prefix [0, n).  These are the same kernels the
+// morsel scan runs (and for n == Len they charge exactly what the
+// whole-column scans did), so serial and parallel stay counter-identical.
+func (s *Scan) scanPred(p expr.Pred, n int, out *vec.Bitvec) (energy.Counters, error) {
 	col, err := s.Table.Column(p.Col)
 	if err != nil {
 		return energy.Counters{}, err
@@ -107,15 +120,11 @@ func (s *Scan) scanPred(p expr.Pred, out *vec.Bitvec) (energy.Counters, error) {
 	}
 	switch c := col.(type) {
 	case *colstore.IntColumn:
-		ctr, _ := c.Scan(p.Op, p.Val.I, out)
-		return ctr, nil
+		return c.ScanRows(p.Op, p.Val.I, 0, n, out), nil
 	case *colstore.FloatColumn:
-		return c.Scan(p.Op, p.Val.F, out), nil
+		return c.ScanRows(p.Op, p.Val.F, 0, n, out), nil
 	default:
-		// Strings go through the same dictionary-code kernel the morsel
-		// scan uses, so serial and parallel charge identical counters.
-		c2 := col.(*colstore.StringColumn)
-		return c2.ScanRows(p.Op, p.Val.S, 0, c2.Len(), out), nil
+		return col.(*colstore.StringColumn).ScanRows(p.Op, p.Val.S, 0, n, out), nil
 	}
 }
 
@@ -163,9 +172,13 @@ func (s *Scan) indexRows(ctx *Ctx, n int) ([]int32, error) {
 	// Index postings arrive key-ordered; downstream operators expect row
 	// order for stable results.
 	sortInt32(cand)
-	// Verify remaining predicates with point reads.
+	// Verify remaining predicates with point reads, discarding postings
+	// outside the snapshot (beyond the prefix, or tombstoned at it).
 	rows := make([]int32, 0, len(cand))
 	for _, r := range cand {
+		if int(r) >= n || !s.Table.RowVisible(ctx.SnapTS, int(r)) {
+			continue
+		}
 		ok, w, err := s.rowMatches(int(r), rest)
 		ctr.Add(w)
 		if err != nil {
@@ -225,8 +238,9 @@ func (s *Scan) rowMatches(row int, preds []expr.Pred) (bool, energy.Counters, er
 	return true, w, nil
 }
 
-// materialize gathers the selected rows of the projected columns.
-func (s *Scan) materialize(ctx *Ctx, rows []int32) (*Relation, error) {
+// materialize gathers the selected rows of the projected columns out of
+// the snapshot prefix [0, n).
+func (s *Scan) materialize(ctx *Ctx, rows []int32, n int) (*Relation, error) {
 	names := s.Select
 	if len(names) == 0 {
 		for _, d := range s.Table.Schema() {
@@ -245,7 +259,7 @@ func (s *Scan) materialize(ctx *Ctx, rows []int32) (*Relation, error) {
 	out := &Relation{N: len(rows), Cols: make([]Col, 0, len(names))}
 	w := energy.Counters{TuplesOut: uint64(len(rows))}
 	for i, name := range names {
-		oc, gw := gatherCol(outCols[i], name, asCode[i], rows, 0, s.Table.Rows())
+		oc, gw := gatherCol(outCols[i], name, asCode[i], rows, 0, n)
 		out.Cols = append(out.Cols, oc)
 		w.Add(gw)
 	}

@@ -50,10 +50,15 @@ func E17Sweep(nodes, rows int) ([]E17Row, error) {
 	var out []E17Row
 	for _, link := range netsim.DefaultLinks() {
 		c := dist.NewCluster(nodes, schema, "orders", link)
+		writers := make([]*colstore.Writer, nodes)
+		for n := range writers {
+			writers[n] = c.Nodes[n].Table.Writer()
+		}
 		for i := 0; i < rows; i++ {
-			node := c.Nodes[i%nodes]
-			err := node.Table.AppendRow(o.CustKey[i], workload.RegionNames[o.Region[i]], o.Amount[i])
-			if err != nil {
+			writers[i%nodes].Row(o.CustKey[i], workload.RegionNames[o.Region[i]], o.Amount[i])
+		}
+		for _, w := range writers {
+			if err := w.Close(); err != nil {
 				return nil, err
 			}
 		}

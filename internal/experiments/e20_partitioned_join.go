@@ -55,13 +55,12 @@ func e20Catalog(nFact, nDim int, seal bool) (*opt.Catalog, error) {
 		{Name: "amount", Type: colstore.Int64},
 		{Name: "day", Type: colstore.Int64},
 	})
-	if err := fact.LoadString("custname", factNames); err != nil {
-		return nil, err
-	}
-	if err := fact.LoadInt64("amount", amounts); err != nil {
-		return nil, err
-	}
-	if err := fact.LoadInt64("day", days); err != nil {
+	err := fact.Writer().
+		String("custname", factNames...).
+		Int64("amount", amounts...).
+		Int64("day", days...).
+		Close()
+	if err != nil {
 		return nil, err
 	}
 	scores := make([]int64, nDim)
@@ -72,10 +71,11 @@ func e20Catalog(nFact, nDim int, seal bool) (*opt.Catalog, error) {
 		{Name: "name", Type: colstore.String},
 		{Name: "score", Type: colstore.Int64},
 	})
-	if err := dim.LoadString("name", names[:nDim]); err != nil {
-		return nil, err
-	}
-	if err := dim.LoadInt64("score", scores); err != nil {
+	err = dim.Writer().
+		String("name", names[:nDim]...).
+		Int64("score", scores...).
+		Close()
+	if err != nil {
 		return nil, err
 	}
 	if seal {

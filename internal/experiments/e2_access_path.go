@@ -56,7 +56,7 @@ func E2Sweep(rows int) ([]E2Row, error) {
 		keys[i] = int64(i)
 	}
 	workload.NewRNG(11).Shuffle(rows, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
-	if err := tab.LoadInt64("id", keys); err != nil {
+	if err := tab.Writer().Int64("id", keys...).Close(); err != nil {
 		return nil, err
 	}
 	if err := e.Seal("lookup"); err != nil {

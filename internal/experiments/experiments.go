@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one runnable
-// module per experiment in EXPERIMENTS.md (E1–E21), each printing the
+// module per experiment in EXPERIMENTS.md (E1–E23), each printing the
 // table or series the paper's claim corresponds to.  cmd/eimdb-bench is
 // the CLI front end; the root bench_test.go exercises the same modules
 // under testing.B.
@@ -80,19 +80,14 @@ func ordersEngine(n int) (*core.Engine, error) {
 	for i, r := range o.Region {
 		regions[i] = workload.RegionNames[r]
 	}
-	if err := tab.LoadInt64("id", o.OrderID); err != nil {
-		return nil, err
-	}
-	if err := tab.LoadInt64("custkey", o.CustKey); err != nil {
-		return nil, err
-	}
-	if err := tab.LoadString("region", regions); err != nil {
-		return nil, err
-	}
-	if err := tab.LoadFloat64("amount", o.Amount); err != nil {
-		return nil, err
-	}
-	if err := tab.LoadInt64("day", o.OrderDay); err != nil {
+	err = tab.Writer().
+		Int64("id", o.OrderID...).
+		Int64("custkey", o.CustKey...).
+		String("region", regions...).
+		Float64("amount", o.Amount...).
+		Int64("day", o.OrderDay...).
+		Close()
+	if err != nil {
 		return nil, err
 	}
 	if err := e.Seal("orders"); err != nil {

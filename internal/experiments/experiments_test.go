@@ -11,8 +11,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 22 {
-		t.Fatalf("expected 22 experiments (E1-E14 + extensions E15-E22), have %d", len(all))
+	if len(all) != 23 {
+		t.Fatalf("expected 23 experiments (E1-E14 + extensions E15-E23), have %d", len(all))
 	}
 	for i, e := range all {
 		if want := fmt.Sprintf("E%d", i+1); e.ID != want {
@@ -491,6 +491,36 @@ func TestE22Shape(t *testing.T) {
 		if batched.SavedJ <= 0 || plain.SavedJ != 0 {
 			t.Errorf("budget %d: saved-J books wrong: batched %v, plain %v",
 				budget, batched.SavedJ, plain.SavedJ)
+		}
+	}
+}
+
+func TestE23Shape(t *testing.T) {
+	// E23Sweep itself enforces the hard invariants (relations and
+	// counters byte-identical at every DOP pre- and post-merge, delta
+	// drained, bytes strictly lower); the shape assertions here are the
+	// write-path payoff: the merge deferred behind same-instant
+	// foreground work yet was billed as a real min-energy query.
+	res, err := E23Sweep(1<<16, 512, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 DOP arms, have %d", len(res.Rows))
+	}
+	if res.DeltaRowsPre < 512 {
+		t.Fatalf("delta too small before merge: %d rows", res.DeltaRowsPre)
+	}
+	if !res.MergeDeferred {
+		t.Error("background merge must finish after the same-instant foreground query")
+	}
+	if res.MergeJ <= 0 || res.MergeWork.BytesReadDRAM == 0 {
+		t.Errorf("merge not billed as a query: J=%v work=%+v", res.MergeJ, res.MergeWork)
+	}
+	for _, r := range res.Rows {
+		if r.PostBytes >= r.PreBytes {
+			t.Errorf("dop %d: merge did not lower probe bytes: pre=%d post=%d",
+				r.DOP, r.PreBytes, r.PostBytes)
 		}
 	}
 }

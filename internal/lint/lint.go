@@ -95,6 +95,11 @@ func DefaultConfig() Config {
 			// The serving front end must be a pure function of its Clock:
 			// wall time lives only in cmd/eimdb-serve's realClock.
 			"repro/internal/server",
+			// The writable delta + merge path: snapshot visibility and
+			// compaction must replay identically (WAL recovery depends
+			// on it).
+			"repro/internal/colstore",
+			"repro/internal/wal",
 		},
 		ExecPkgs:    []string{"repro/internal/exec"},
 		PoolFuncs:   []string{"runPool", "runMorsels"},

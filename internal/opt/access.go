@@ -132,7 +132,10 @@ func ChooseAccess(cat *Catalog, cm *CostModel, table string, preds []expr.Pred, 
 		choice.IndexCost = ic
 		if obj.Better(ic, choice.Est) {
 			choice.Est = ic
-			choice.Spec = exec.AccessSpec{Kind: exec.IndexAccess, Index: idx, IndexCol: p.Col}
+			// The build epoch travels with the spec so the executor can
+			// fall back to a full scan if a write lands between planning
+			// (or plan-cache insertion) and execution.
+			choice.Spec = exec.AccessSpec{Kind: exec.IndexAccess, Index: idx, IndexCol: p.Col, IndexEpoch: cat.IndexEpoch(table, p.Col)}
 		}
 	}
 	return choice, nil

@@ -83,11 +83,19 @@ func (ts *TableStats) Selectivity(p expr.Pred) float64 {
 	return 0.33
 }
 
+// indexEntry pins an index to the table write epoch it was built at;
+// any later write or merge invalidates it (the index is a snapshot of
+// Values() and never sees the delta).
+type indexEntry struct {
+	idx   index.Index
+	epoch int64
+}
+
 // Catalog registers tables, their statistics, and secondary indexes.
 type Catalog struct {
 	tables  map[string]*colstore.Table
 	stats   map[string]*TableStats
-	indexes map[string]map[string]index.Index
+	indexes map[string]map[string]indexEntry
 }
 
 // NewCatalog returns an empty catalog.
@@ -95,7 +103,7 @@ func NewCatalog() *Catalog {
 	return &Catalog{
 		tables:  make(map[string]*colstore.Table),
 		stats:   make(map[string]*TableStats),
-		indexes: make(map[string]map[string]index.Index),
+		indexes: make(map[string]map[string]indexEntry),
 	}
 }
 
@@ -169,12 +177,17 @@ func (c *Catalog) RefreshStats(name string) error {
 	return nil
 }
 
-// AddIndex registers a secondary index on table.col.
+// AddIndex registers a secondary index on table.col, pinned to the
+// table's current write epoch.
 func (c *Catalog) AddIndex(table, col string, idx index.Index) {
 	if c.indexes[table] == nil {
-		c.indexes[table] = make(map[string]index.Index)
+		c.indexes[table] = make(map[string]indexEntry)
 	}
-	c.indexes[table][col] = idx
+	var epoch int64
+	if t, ok := c.tables[table]; ok {
+		epoch = t.WriteEpoch()
+	}
+	c.indexes[table][col] = indexEntry{idx: idx, epoch: epoch}
 }
 
 // Table returns the registered table.
@@ -195,10 +208,26 @@ func (c *Catalog) Stats(name string) (*TableStats, error) {
 	return s, nil
 }
 
-// Index returns the index on table.col, if any.
+// Index returns the index on table.col, if one exists AND still covers
+// the table: an index built before the latest write or merge is stale
+// (it never sees the delta and compaction renumbers rows), so it is
+// withheld from planning until rebuilt.
 func (c *Catalog) Index(table, col string) (index.Index, bool) {
-	idx, ok := c.indexes[table][col]
-	return idx, ok
+	e, ok := c.indexes[table][col]
+	if !ok {
+		return nil, false
+	}
+	if t, reg := c.tables[table]; reg && t.WriteEpoch() != e.epoch {
+		return nil, false
+	}
+	return e.idx, true
+}
+
+// IndexEpoch returns the write epoch the index on table.col was built
+// at (the planner stamps it into the access spec so the executor can
+// re-verify at run time).
+func (c *Catalog) IndexEpoch(table, col string) int64 {
+	return c.indexes[table][col].epoch
 }
 
 // Tables lists registered table names.

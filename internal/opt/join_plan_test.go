@@ -23,7 +23,7 @@ func intTable(t *testing.T, cat *Catalog, name string, cols map[string][]int64, 
 	}
 	tab := colstore.NewTable(name, schema)
 	for _, n := range order {
-		if err := tab.LoadInt64(n, cols[n]); err != nil {
+		if err := tab.Writer().Int64(n, cols[n]...).Close(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -262,20 +262,20 @@ func TestPlannerCodeDomainJoin(t *testing.T) {
 			{Name: "seg", Type: colstore.String},
 			{Name: "amount", Type: colstore.Int64},
 		})
-		if err := fact.LoadString("seg", factNames); err != nil {
+		if err := fact.Writer().String("seg", factNames...).Close(); err != nil {
 			t.Fatal(err)
 		}
-		if err := fact.LoadInt64("amount", amounts); err != nil {
+		if err := fact.Writer().Int64("amount", amounts...).Close(); err != nil {
 			t.Fatal(err)
 		}
 		dim := colstore.NewTable("dim", colstore.Schema{
 			{Name: "segname", Type: colstore.String},
 			{Name: "score", Type: colstore.Int64},
 		})
-		if err := dim.LoadString("segname", names); err != nil {
+		if err := dim.Writer().String("segname", names...).Close(); err != nil {
 			t.Fatal(err)
 		}
-		if err := dim.LoadInt64("score", scores); err != nil {
+		if err := dim.Writer().Int64("score", scores...).Close(); err != nil {
 			t.Fatal(err)
 		}
 		if seal {

@@ -29,16 +29,16 @@ func testCatalog(t testing.TB, rows int) (*Catalog, *colstore.Table) {
 	for i, r := range o.Region {
 		regions[i] = workload.RegionNames[r]
 	}
-	if err := tab.LoadInt64("id", o.OrderID); err != nil {
+	if err := tab.Writer().Int64("id", o.OrderID...).Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tab.LoadInt64("custkey", o.CustKey); err != nil {
+	if err := tab.Writer().Int64("custkey", o.CustKey...).Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tab.LoadString("region", regions); err != nil {
+	if err := tab.Writer().String("region", regions...).Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tab.LoadFloat64("amount", o.Amount); err != nil {
+	if err := tab.Writer().Float64("amount", o.Amount...).Close(); err != nil {
 		t.Fatal(err)
 	}
 	if err := tab.Seal(); err != nil {
@@ -290,7 +290,7 @@ func TestPlannerJoinQuery(t *testing.T) {
 		if k%4 == 0 {
 			seg = "WHOLESALE"
 		}
-		if err := cust.AppendRow(int64(k), seg); err != nil {
+		if err := cust.Writer().Row(int64(k), seg).Close(); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -286,15 +286,28 @@ func (l *Loop) admit(t *Task) {
 }
 
 // dispatch pops FCFS groups while run slots remain (one slot total in
-// naive mode); the caller re-prices afterwards.
+// naive mode); the caller re-prices afterwards.  Foreground groups
+// dispatch strictly before background ones (FCFS within each class): a
+// queued background merge is passed over while any user query waits,
+// and runs only once the foreground queue is empty.
 func (l *Loop) dispatch() {
 	slots := l.cfg.Budget
 	if !l.cfg.Arbitrate {
 		slots = 1
 	}
 	for len(l.queue) > 0 && len(l.running) < slots {
-		g := l.queue[0]
-		l.queue = l.queue[1:]
+		pick := -1
+		for i, g := range l.queue {
+			if !g.leader.Background {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			pick = 0 // only background work left
+		}
+		g := l.queue[pick]
+		l.queue = append(l.queue[:pick], l.queue[pick+1:]...)
 		g.start = time.Duration(l.now * float64(time.Second))
 		l.running = append(l.running, g)
 	}

@@ -73,6 +73,13 @@ type Task struct {
 	Goal     Goal
 	// MaxDOP caps the task's core grant (0 = the whole budget).
 	MaxDOP int
+	// Background marks housekeeping work (the delta merge) that must
+	// yield to user queries: the dispatcher passes over queued background
+	// groups while any foreground group waits, so background work runs
+	// only when the foreground queue is drained — raced to idle on an
+	// empty machine, deferred under load.  Later foreground arrivals
+	// overtake a waiting background group.
+	Background bool
 }
 
 // MQConfig parameterizes a MultiQ run.

@@ -21,7 +21,10 @@ type Played struct {
 // plan cache, per-client budgets, queue admission, shared-scan
 // batching, execution at virtual completion — without goroutines or
 // HTTP framing: arrivals are offered at their scripted virtual times
-// and the loop advances event by event.  It is the deterministic
+// and the loop advances event by event.  DML arrivals route through the
+// write pipeline (synchronous execution, budget gate, auto-merge
+// offers), so a mixed script exercises reads over a moving delta with
+// background merges interleaved.  It is the deterministic
 // harness behind E22 and the serving benchmark; the httptest paths
 // cover the same pipeline through real net/http.  Replay drives the
 // loop directly (the Clock is not consulted), so it must not be
@@ -41,12 +44,26 @@ func (s *Server) Replay(script *workload.Script) []Played {
 	for i, a := range script.Arrivals {
 		s.mu.Lock()
 		settle(s.loop.AdvanceTo(a.At))
-		t, _, rerr := s.admitLocked(a.At, a.Client, a.SQL, "")
-		if rerr != nil {
-			out[i] = Played{Status: rerr.status, RetryAfter: rerr.retryAfter, Body: string(errBody(rerr.msg))}
+		if isWriteStmt(a.SQL) {
+			// DML completes synchronously at its arrival instant; only
+			// the merge it may trigger flows through the scheduler.
+			res, rerr := s.execWriteLocked(a.At, a.Client, a.SQL)
+			if rerr != nil {
+				out[i] = Played{Status: rerr.status, RetryAfter: rerr.retryAfter,
+					Body: string(errBody(rerr.code, rerr.msg, rerr.retryAfter))}
+			} else {
+				status, body := renderWrite(res)
+				out[i] = Played{Status: status, Body: string(body)}
+			}
 		} else {
-			idx[t.ID] = i
-			s.inflight[t.ID] = &pending{client: a.Client}
+			t, _, rerr := s.admitLocked(a.At, a.Client, a.SQL, "")
+			if rerr != nil {
+				out[i] = Played{Status: rerr.status, RetryAfter: rerr.retryAfter,
+					Body: string(errBody(rerr.code, rerr.msg, rerr.retryAfter))}
+			} else {
+				idx[t.ID] = i
+				s.inflight[t.ID] = &pending{client: a.Client}
+			}
 		}
 		settle(s.loop.React())
 		s.mu.Unlock()

@@ -5,11 +5,28 @@
 // of queued lookalikes, revocable-lease resizes, and completions all
 // interleave per request.
 //
-// Endpoints:
+// Endpoints (versioned under /v1; the original unversioned paths remain
+// as deprecated aliases that answer identically plus Deprecation/Link
+// headers pointing at their successors):
 //
-//	POST /query   {"sql": "...", "objective": "min-energy", "client": "key"}
-//	GET  /stats   plan-cache counters, energy books, per-client budgets
-//	GET  /healthz liveness
+//	POST /v1/query   {"sql": "...", "objective": "min-energy", "client": "key"}
+//	POST /v1/write   {"sql": "INSERT|UPDATE|DELETE ...", "client": "key"}
+//	GET  /v1/stats   plan-cache counters, energy books, per-client budgets
+//	GET  /v1/healthz liveness
+//
+// Every error response, on every route and both path versions, carries
+// one envelope: {"error":{"code":"...","message":"...","retry_after_s":N}}
+// (retry_after_s only on 429s, mirroring the Retry-After header).
+//
+// Writes execute synchronously at their arrival instant — INSERT appends
+// to the table's delta, UPDATE/DELETE tombstone through MVCC — and are
+// admission-gated by the same per-client budgets as queries, charging
+// the catalog-statistics estimate (opt.EstimateDML).  Once a table's
+// delta passes Config.MergeDeltaRows, the server offers a background
+// merge-as-a-query (core.Loop.OfferMerge): an energy-priced compaction
+// ticket that waits behind foreground traffic and re-seals the delta.
+// DML and completed merges invalidate the plan cache (statistics and
+// access paths may have shifted).
 //
 // Time discipline: the server never reads a wall clock — all timing
 // flows through the Clock interface, so tests drive a SimClock and the
@@ -56,6 +73,10 @@ type Config struct {
 	// allowance; past it they are rejected 402-style.  Requests with no
 	// key are anonymous and unmetered; unknown keys are 401s.
 	Clients map[string]energy.Joules
+	// MergeDeltaRows is the delta-row threshold past which a write
+	// triggers a background merge offer for its table (0 disables
+	// auto-merge; merges can then only come from explicit harness calls).
+	MergeDeltaRows int
 }
 
 // planEntry is one cached prepared statement: a plan node (re-runnable,
@@ -96,6 +117,9 @@ type Server struct {
 	misses   uint64
 	clients  map[string]*clientBook
 	inflight map[int]*pending
+	merging  map[string]bool // tables with an offered, unfinished merge
+	writes   uint64          // DML statements applied
+	merges   uint64          // background merges completed
 }
 
 // New builds a server over an engine whose tables are loaded and
@@ -110,12 +134,33 @@ func New(eng *core.Engine, cfg Config, clock Clock) *Server {
 		sigs:     make(map[string]*planEntry),
 		clients:  make(map[string]*clientBook),
 		inflight: make(map[int]*pending),
+		merging:  make(map[string]bool),
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	for _, r := range []struct {
+		path string
+		h    http.HandlerFunc
+	}{
+		{"/query", s.handleQuery},
+		{"/write", s.handleWrite},
+		{"/stats", s.handleStats},
+		{"/healthz", s.handleHealthz},
+	} {
+		s.mux.HandleFunc("/v1"+r.path, r.h)
+		s.mux.HandleFunc(r.path, deprecatedAlias(r.path, r.h))
+	}
 	return s
+}
+
+// deprecatedAlias keeps the original unversioned paths answering
+// identically while steering clients to /v1 via RFC 8594 Deprecation
+// and successor-version Link headers.
+func deprecatedAlias(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", path))
+		h(w, r)
+	}
 }
 
 // ServeHTTP dispatches to the server's routes.
@@ -147,15 +192,27 @@ type responseEnergy struct {
 // reqError is an admission-path failure with its HTTP mapping.
 type reqError struct {
 	status     int
+	code       string
 	msg        string
 	retryAfter int // seconds; > 0 adds a Retry-After header
 }
 
+// errEnvelope is the one error shape every route returns, on both path
+// versions: {"error":{"code","message","retry_after_s?"}}.  Machine
+// retry logic keys on code; message is for humans.
+type errEnvelope struct {
+	Error errDetail `json:"error"`
+}
+
+type errDetail struct {
+	Code        string `json:"code"`
+	Message     string `json:"message"`
+	RetryAfterS int    `json:"retry_after_s,omitempty"`
+}
+
 // errBody renders the uniform error payload.
-func errBody(msg string) []byte {
-	b, _ := json.Marshal(struct {
-		Error string `json:"error"`
-	}{msg})
+func errBody(code, msg string, retryAfter int) []byte {
+	b, _ := json.Marshal(errEnvelope{Error: errDetail{Code: code, Message: msg, RetryAfterS: retryAfter}})
 	return append(b, '\n')
 }
 
@@ -221,6 +278,33 @@ func retryAfterSeconds(backlog time.Duration, budget int) int {
 	return secs
 }
 
+// bookLocked resolves a client's energy account and checks the estimate
+// against its remaining allowance: nil book for anonymous requests, 401
+// for unknown keys, 402 once the committed sum would overflow.  The
+// caller commits the estimate only after its own admission succeeds.
+func (s *Server) bookLocked(client string, est energy.Joules) (*clientBook, *reqError) {
+	if client == "" {
+		return nil, nil
+	}
+	book := s.clients[client]
+	if book == nil {
+		allowance, known := s.cfg.Clients[client]
+		if !known {
+			return nil, &reqError{status: http.StatusUnauthorized, code: "unknown_api_key",
+				msg: fmt.Sprintf("unknown api key %q", client)}
+		}
+		book = &clientBook{allowance: allowance}
+		s.clients[client] = book
+	}
+	if book.committed+est > book.allowance {
+		book.rejected402++
+		return nil, &reqError{status: http.StatusPaymentRequired, code: "energy_budget_exhausted",
+			msg: fmt.Sprintf("energy budget exhausted: committed %.6g J of %.6g J allowance, request needs %.6g J",
+				float64(book.committed), float64(book.allowance), float64(est))}
+	}
+	return book, nil
+}
+
 // admitLocked runs the admission pipeline for one arrival at virtual
 // time `at`: objective resolution, plan-cache lookup (400 on parse or
 // plan failure), per-client budget check (402-style on exhaustion),
@@ -231,35 +315,20 @@ func retryAfterSeconds(backlog time.Duration, budget int) int {
 func (s *Server) admitLocked(at time.Duration, client, text, objName string) (*core.Ticket, bool, *reqError) {
 	obj, ok := s.parseObjective(objName)
 	if !ok {
-		return nil, false, &reqError{status: http.StatusBadRequest,
+		return nil, false, &reqError{status: http.StatusBadRequest, code: "bad_request",
 			msg: fmt.Sprintf("unknown objective %q (want min-time, min-energy, or min-edp)", objName)}
 	}
 	entry, hit, err := s.lookupLocked(text, obj)
 	if err != nil {
-		return nil, false, &reqError{status: http.StatusBadRequest, msg: err.Error()}
+		return nil, false, &reqError{status: http.StatusBadRequest, code: "bad_request", msg: err.Error()}
 	}
-	var book *clientBook
-	if client != "" {
-		book = s.clients[client]
-		if book == nil {
-			allowance, known := s.cfg.Clients[client]
-			if !known {
-				return nil, hit, &reqError{status: http.StatusUnauthorized,
-					msg: fmt.Sprintf("unknown api key %q", client)}
-			}
-			book = &clientBook{allowance: allowance}
-			s.clients[client] = book
-		}
-		if book.committed+entry.info.Est.Energy > book.allowance {
-			book.rejected402++
-			return nil, hit, &reqError{status: http.StatusPaymentRequired,
-				msg: fmt.Sprintf("energy budget exhausted: committed %.6g J of %.6g J allowance, query needs %.6g J",
-					float64(book.committed), float64(book.allowance), float64(entry.info.Est.Energy))}
-		}
+	book, rerr := s.bookLocked(client, entry.info.Est.Energy)
+	if rerr != nil {
+		return nil, hit, rerr
 	}
 	t := s.loop.OfferPlanned(at, entry.node, entry.info, obj)
 	if t.Rejected {
-		return nil, hit, &reqError{status: http.StatusTooManyRequests,
+		return nil, hit, &reqError{status: http.StatusTooManyRequests, code: "queue_full",
 			msg:        "admission queue full",
 			retryAfter: retryAfterSeconds(s.loop.Backlog(), s.cfg.Sched.Budget)}
 	}
@@ -269,10 +338,29 @@ func (s *Server) admitLocked(at time.Duration, client, text, objName string) (*c
 	return t, hit, nil
 }
 
+// invalidatePlansLocked drops every cached plan: after a write or a
+// merge the catalog statistics (and possibly the winning access paths)
+// have shifted, so cached nodes would run with stale estimates.  Hit
+// counters survive — they describe lookups, not entries.
+func (s *Server) invalidatePlansLocked() {
+	s.texts = make(map[string]*planEntry)
+	s.sigs = make(map[string]*planEntry)
+}
+
 // deliverLocked settles completed tickets: credits client spend, wakes
-// any waiting handler, and retires the inflight entry.
+// any waiting handler, and retires the inflight entry.  Completed merge
+// tickets retire their table's in-progress mark and invalidate the plan
+// cache (the re-sealed layout re-prices every access path).
 func (s *Server) deliverLocked(done []*core.Ticket) {
 	for _, t := range done {
+		if t.IsMerge {
+			delete(s.merging, t.MergeTable)
+			if t.Err == nil {
+				s.merges++
+				s.invalidatePlansLocked()
+			}
+			continue
+		}
 		p := s.inflight[t.ID]
 		if p == nil {
 			continue
@@ -308,7 +396,7 @@ func (s *Server) onWake() {
 // renderTicket turns a settled ticket into its HTTP status and body.
 func renderTicket(t *core.Ticket) (int, []byte) {
 	if t.Err != nil {
-		return http.StatusInternalServerError, errBody(t.Err.Error())
+		return http.StatusInternalServerError, errBody("internal", t.Err.Error(), 0)
 	}
 	resp := queryResponse{
 		ID:        t.ID,
@@ -336,7 +424,7 @@ func writeReqError(w http.ResponseWriter, e *reqError) {
 	if e.retryAfter > 0 {
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", e.retryAfter))
 	}
-	writeJSON(w, e.status, errBody(e.msg))
+	writeJSON(w, e.status, errBody(e.code, e.msg, e.retryAfter))
 }
 
 // handleQuery is the serving hot path: decode, advance the loop to the
@@ -345,16 +433,16 @@ func writeReqError(w http.ResponseWriter, e *reqError) {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, errBody("POST only"))
+		writeJSON(w, http.StatusMethodNotAllowed, errBody("method_not_allowed", "POST only", 0))
 		return
 	}
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errBody("bad request body: "+err.Error()))
+		writeJSON(w, http.StatusBadRequest, errBody("bad_request", "bad request body: "+err.Error(), 0))
 		return
 	}
 	if req.SQL == "" {
-		writeJSON(w, http.StatusBadRequest, errBody("missing sql"))
+		writeJSON(w, http.StatusBadRequest, errBody("bad_request", "missing sql", 0))
 		return
 	}
 	client := r.Header.Get("X-API-Key")
@@ -415,6 +503,8 @@ type statsResponse struct {
 	Running      int                    `json:"running"`
 	Completed    int                    `json:"completed"`
 	Rejected     int                    `json:"rejected"`
+	Writes       uint64                 `json:"writes"`
+	Merges       uint64                 `json:"merges"`
 	PlanCache    statsCache             `json:"plan_cache"`
 	Energy       statsEnergy            `json:"energy"`
 	Work         statsWork              `json:"work"`
@@ -456,7 +546,7 @@ type statsClient struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		writeJSON(w, http.StatusMethodNotAllowed, errBody("GET only"))
+		writeJSON(w, http.StatusMethodNotAllowed, errBody("method_not_allowed", "GET only", 0))
 		return
 	}
 	s.mu.Lock()
@@ -467,6 +557,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Running:      s.loop.Running(),
 		Completed:    rep.Fleet.Completed,
 		Rejected:     rep.Fleet.Rejected,
+		Writes:       s.writes,
+		Merges:       s.merges,
 		PlanCache: statsCache{
 			Hits:     s.textHits + s.sigHits,
 			TextHits: s.textHits,

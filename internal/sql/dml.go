@@ -1,0 +1,240 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/opt"
+)
+
+// DML grammar: the write half of the SQL front.  ParseStmt accepts both
+// halves — SELECT into opt.Query, INSERT/UPDATE/DELETE into opt.DML —
+// with the same canonical round-trip property the read side pins: any
+// accepted statement renders (Stmt.String) to text that reparses to the
+// same logical statement.
+
+// Stmt is one parsed statement: exactly one of Query or DML is set.
+type Stmt struct {
+	Query *opt.Query
+	DML   *opt.DML
+}
+
+// String renders the statement in canonical form.
+func (s Stmt) String() string {
+	if s.Query != nil {
+		return s.Query.String()
+	}
+	if s.DML != nil {
+		return s.DML.String()
+	}
+	return ""
+}
+
+// ParseStmt parses a single SQL statement of either kind.
+func ParseStmt(input string) (Stmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return Stmt{}, err
+	}
+	p := &parser{toks: toks}
+	t := p.peek()
+	if t.kind != tokIdent {
+		return Stmt{}, fmt.Errorf("sql: expected a statement, found %q", t.text)
+	}
+	var s Stmt
+	switch strings.ToLower(t.text) {
+	case "select":
+		q, err := p.parseQuery()
+		if err != nil {
+			return Stmt{}, err
+		}
+		s.Query = q
+	case "insert":
+		d, err := p.parseInsert()
+		if err != nil {
+			return Stmt{}, err
+		}
+		s.DML = d
+	case "update":
+		d, err := p.parseUpdate()
+		if err != nil {
+			return Stmt{}, err
+		}
+		s.DML = d
+	case "delete":
+		d, err := p.parseDelete()
+		if err != nil {
+			return Stmt{}, err
+		}
+		s.DML = d
+	default:
+		return Stmt{}, fmt.Errorf("sql: expected SELECT, INSERT, UPDATE, or DELETE, found %q", t.text)
+	}
+	if !p.atEOF() {
+		return Stmt{}, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+	}
+	return s, nil
+}
+
+// parseInsert: INSERT INTO table [(col, ...)] VALUES (lit, ...), ...
+func (p *parser) parseInsert() (*opt.DML, error) {
+	p.matchKw("insert")
+	if err := p.expectKw("into"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &opt.DML{Kind: opt.DMLInsert, Table: table}
+	if p.peek().kind == tokSymbol && p.peek().text == "(" {
+		p.i++
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			d.Cols = append(d.Cols, col)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.i++
+				continue
+			}
+			break
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("values"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		var row []expr.Value
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.i++
+				continue
+			}
+			break
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		if len(d.Cols) > 0 && len(row) != len(d.Cols) {
+			return nil, fmt.Errorf("sql: INSERT tuple has %d values for %d columns", len(row), len(d.Cols))
+		}
+		d.Rows = append(d.Rows, row)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.i++
+			continue
+		}
+		break
+	}
+	return d, nil
+}
+
+// parseUpdate: UPDATE table SET col = lit, ... [WHERE preds]
+func (p *parser) parseUpdate() (*opt.DML, error) {
+	p.matchKw("update")
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &opt.DML{Kind: opt.DMLUpdate, Table: table}
+	if err := p.expectKw("set"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym("="); err != nil {
+			return nil, err
+		}
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		d.Sets = append(d.Sets, opt.SetClause{Col: stripQual(col), Val: v})
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.i++
+			continue
+		}
+		break
+	}
+	if d.Preds, err = p.parseWhere(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// parseDelete: DELETE FROM table [WHERE preds]
+func (p *parser) parseDelete() (*opt.DML, error) {
+	p.matchKw("delete")
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &opt.DML{Kind: opt.DMLDelete, Table: table}
+	if d.Preds, err = p.parseWhere(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// parseWhere consumes an optional WHERE conjunction.
+func (p *parser) parseWhere() ([]expr.Pred, error) {
+	if !p.matchKw("where") {
+		return nil, nil
+	}
+	var preds []expr.Pred
+	for {
+		pred, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pred)
+		if !p.matchKw("and") {
+			break
+		}
+	}
+	return preds, nil
+}
+
+// parseLiteral consumes one typed literal (the same number/string forms
+// predicates accept).
+func (p *parser) parseLiteral() (expr.Value, error) {
+	v := p.next()
+	switch v.kind {
+	case tokNumber:
+		if strings.ContainsAny(v.text, ".eE") {
+			f, err := strconv.ParseFloat(v.text, 64)
+			if err != nil {
+				return expr.Value{}, fmt.Errorf("sql: bad number %q", v.text)
+			}
+			return expr.FloatVal(f), nil
+		}
+		n, err := strconv.ParseInt(v.text, 10, 64)
+		if err != nil {
+			return expr.Value{}, fmt.Errorf("sql: bad number %q", v.text)
+		}
+		return expr.IntVal(n), nil
+	case tokString:
+		return expr.StrVal(v.text), nil
+	}
+	return expr.Value{}, fmt.Errorf("sql: expected literal, found %q", v.text)
+}

@@ -24,20 +24,41 @@ var seedQueries = []string{
 	"SELECT * FROM t LIMIT -1",
 }
 
-// FuzzParse is the wire-input safety contract: Parse must return an
-// error, never panic, on arbitrary bytes (the serving front end feeds
-// it untrusted HTTP request bodies), and any query it does accept must
-// render back to text without panicking.
+// seedDML covers the write grammar: multi-tuple inserts with and without
+// column lists, negative and float literals, updates with multi-column
+// SET, deletes with and without WHERE, and malformed edges.
+var seedDML = []string{
+	"INSERT INTO orders (id, custkey, amount, region) VALUES (1, 7, 10.5, 'ASIA')",
+	"INSERT INTO t VALUES (1, -2, 3.5), (4, 5, -6.0)",
+	"insert into t (a) values (''), ('x')",
+	"UPDATE orders SET amount = 99.5, region = 'EU' WHERE custkey = 7 AND amount > 10.5",
+	"UPDATE t SET a = -1",
+	"DELETE FROM orders WHERE region = 'ASIA' AND amount <= 2.5e-3",
+	"DELETE FROM t",
+	"INSERT INTO t VALUES",
+	"UPDATE t WHERE a = 1",
+	"DELETE t WHERE a = 1",
+	"INSERT INTO t (a, b) VALUES (1)",
+}
+
+// FuzzParse is the wire-input safety contract: Parse and ParseStmt must
+// return an error, never panic, on arbitrary bytes (the serving front
+// end feeds them untrusted HTTP request bodies), and any statement they
+// do accept must render back to text without panicking.
 func FuzzParse(f *testing.F) {
 	for _, s := range seedQueries {
 		f.Add(s)
 	}
+	for _, s := range seedDML {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, input string) {
-		q, err := Parse(input)
-		if err != nil {
-			return
+		if q, err := Parse(input); err == nil {
+			_ = q.String()
 		}
-		_ = q.String()
+		if s, err := ParseStmt(input); err == nil {
+			_ = s.String()
+		}
 	})
 }
 
@@ -50,20 +71,23 @@ func FuzzRoundTrip(f *testing.F) {
 	for _, s := range seedQueries {
 		f.Add(s)
 	}
+	for _, s := range seedDML {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, input string) {
-		q1, err := Parse(input)
+		s1, err := ParseStmt(input)
 		if err != nil {
 			return
 		}
-		canon := q1.String()
-		q2, err := Parse(canon)
+		canon := s1.String()
+		s2, err := ParseStmt(canon)
 		if err != nil {
 			t.Fatalf("canonical text %q of accepted input %q does not reparse: %v", canon, input, err)
 		}
-		if !reflect.DeepEqual(q1, q2) {
-			t.Fatalf("round trip changed the query for input %q:\n in: %#v\nout: %#v\nsql: %s", input, q1, q2, canon)
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("round trip changed the statement for input %q:\n in: %#v\nout: %#v\nsql: %s", input, s1, s2, canon)
 		}
-		if again := q2.String(); again != canon {
+		if again := s2.String(); again != canon {
 			t.Fatalf("canonical text is not a fixed point: %q reparses to %q", canon, again)
 		}
 	})

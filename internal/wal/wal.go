@@ -59,16 +59,35 @@ func (l Level) replicas() int {
 	return 0
 }
 
+// RecKind discriminates REDO entries.  The zero value is the original
+// key/value SET record, so existing producers are unchanged.
+type RecKind int
+
+const (
+	// RecSet is a key/value REDO write (the E9 micro-workloads).
+	RecSet RecKind = iota
+	// RecInsert appends one table row: Key names the table, TxID carries
+	// the commit timestamp, Payload the encoded row (internal/txn's row
+	// codec).  Stable row ids are not logged — replay reassigns them
+	// deterministically in append order.
+	RecInsert
+	// RecDelete tombstones one table row: Key names the table, TxID the
+	// commit timestamp, Value the stable row id.
+	RecDelete
+)
+
 // Record is one REDO entry.
 type Record struct {
-	LSN   uint64
-	TxID  uint64
-	Key   string
-	Value int64
+	LSN     uint64
+	TxID    uint64
+	Key     string
+	Value   int64
+	Kind    RecKind
+	Payload []byte
 }
 
 // bytes approximates the serialized size of a record.
-func (r Record) bytes() uint64 { return uint64(24 + len(r.Key)) }
+func (r Record) bytes() uint64 { return uint64(24 + len(r.Key) + len(r.Payload)) }
 
 // Config prices the durability mechanisms.
 type Config struct {
