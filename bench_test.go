@@ -453,6 +453,50 @@ func BenchmarkE23WritableDelta(b *testing.B) {
 	b.ReportMetric(float64(res.MergeJ), "merge-J")
 }
 
+// BenchmarkE24FusedPipeline runs the headline fused-vs-unfused arms
+// (RLE-grouped aggregate, dictionary-grouped aggregate, code-domain
+// probe, all at 50% selectivity) over a 1M-row fact table at a 2-way
+// morsel pool.  J/op and bytes-touched/op report the energy model's view
+// of one whole plan; the fused arm must sit strictly below its unfused
+// control on both (TestE24Shape asserts it; this makes the gap
+// measurable over time).  Wall times on the 1-CPU CI runner measure the
+// code path, not parallel speedup — DOP invariance is the tested
+// contract.
+func BenchmarkE24FusedPipeline(b *testing.B) {
+	const n = 1 << 20
+	model := energy.DefaultModel()
+	arms, err := experiments.E24BenchArms(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, arm := range arms {
+		for _, path := range []struct {
+			name string
+			node exec.Node
+		}{{"fused", arm.Fused}, {"unfused", arm.Unfused}} {
+			b.Run(arm.Name+"/"+path.name, func(b *testing.B) {
+				b.SetBytes(n * 8)
+				var work energy.Counters
+				for i := 0; i < b.N; i++ {
+					ctx := exec.NewCtx()
+					ctx.Parallelism = 2
+					rel, err := path.node.Run(ctx)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rel.N == 0 {
+						b.Fatal("fused pipeline produced no rows")
+					}
+					work = ctx.Meter.Snapshot()
+				}
+				j := model.DynamicEnergy(work, model.Core.MaxPState()).Total()
+				b.ReportMetric(float64(j), "J/op")
+				b.ReportMetric(float64(work.BytesReadDRAM), "bytes-touched/op")
+			})
+		}
+	}
+}
+
 // BenchmarkScheduler measures the discrete-event scheduler core (the
 // substrate under E1/E5).
 func BenchmarkScheduler(b *testing.B) {

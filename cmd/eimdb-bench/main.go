@@ -1,5 +1,5 @@
 // Command eimdb-bench regenerates every table and series recorded in
-// EXPERIMENTS.md.  Each experiment (E1–E23) corresponds to a claim of the
+// EXPERIMENTS.md.  Each experiment (E1–E24) corresponds to a claim of the
 // paper; run them all or one at a time:
 //
 //	eimdb-bench              # run everything
@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1..E23) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1..E24) or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
 
 	replay := flag.Bool("replay", false, "open-loop workload driver mode")

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strconv"
 	"strings"
@@ -23,6 +24,10 @@ type HashAgg struct {
 	Child   Node
 	GroupBy []string
 	Aggs    []expr.AggSpec
+	// Unfused pins the legacy scan-then-aggregate path even when the
+	// child is a fusable ParallelScan — the control arm of the E24
+	// experiment and of the fused-vs-unfused byte-identity tests.
+	Unfused bool
 }
 
 // ParallelAggRows is the input size at which HashAgg switches from the
@@ -44,12 +49,20 @@ func (a *HashAgg) Label() string {
 // Kids implements Node.
 func (a *HashAgg) Kids() []Node { return []Node{a.Child} }
 
-// aggState accumulates one group.
+// aggState accumulates one group.  Int64 aggregate inputs accumulate in
+// the exact int64 fields: integer addition is associative, so any morsel
+// decomposition — including the fused run-at-a-time closed form
+// `sum += L*v` — produces bit-identical sums.  Float64 inputs keep
+// float64 accumulators filled in row order (float addition is not
+// associative, so their grouping order is part of the contract).
 type aggState struct {
 	count  int64
 	sums   []float64
+	isums  []int64
 	mins   []float64
 	maxs   []float64
+	imins  []int64
+	imaxs  []int64
 	seen   []bool
 	sample int32 // first row of the group, for group-key output
 }
@@ -88,37 +101,55 @@ func (a *HashAgg) bindCols(in *Relation) (groupCols, aggCols []*Col, err error) 
 		if c.Type == colstore.String && s.Func != expr.AggCount {
 			return nil, nil, fmt.Errorf("exec: cannot %s a VARCHAR column", s.Func)
 		}
+		if s.Func == expr.AggCount {
+			continue // COUNT(col): existence-checked only, no values read
+		}
 		aggCols[i] = c
 	}
 	return groupCols, aggCols, nil
 }
 
-// aggRange aggregates rows [lo, hi) of the input into t.
+// newAggState allocates one group's accumulators.
+func (a *HashAgg) newAggState(sample int32) *aggState {
+	return &aggState{
+		sums:   make([]float64, len(a.Aggs)),
+		isums:  make([]int64, len(a.Aggs)),
+		mins:   make([]float64, len(a.Aggs)),
+		maxs:   make([]float64, len(a.Aggs)),
+		imins:  make([]int64, len(a.Aggs)),
+		imaxs:  make([]int64, len(a.Aggs)),
+		seen:   make([]bool, len(a.Aggs)),
+		sample: sample,
+	}
+}
+
+// aggRange aggregates rows [lo, hi) of the input into t.  Group-key
+// bytes length-prefix every part (uvarint length, then the rendered
+// value): a bare separator byte would let multi-column keys containing
+// that byte collide — ("a\x00","b") and ("a","\x00b") are different
+// groups.  The fused code-domain path is immune by construction (its
+// keys are single int64 codes, never concatenated bytes).
 func (a *HashAgg) aggRange(t *aggTable, groupCols, aggCols []*Col, lo, hi int) {
-	var keyBuf []byte
+	var keyBuf, partBuf []byte
 	for row := lo; row < hi; row++ {
 		keyBuf = keyBuf[:0]
 		for _, c := range groupCols {
+			partBuf = partBuf[:0]
 			switch c.Type {
 			case colstore.Int64:
-				keyBuf = strconv.AppendInt(keyBuf, c.I[row], 10)
+				partBuf = strconv.AppendInt(partBuf, c.I[row], 10)
 			case colstore.Float64:
-				keyBuf = strconv.AppendFloat(keyBuf, c.F[row], 'g', -1, 64)
+				partBuf = strconv.AppendFloat(partBuf, c.F[row], 'g', -1, 64)
 			default:
-				keyBuf = append(keyBuf, c.S[row]...)
+				partBuf = append(partBuf, c.S[row]...)
 			}
-			keyBuf = append(keyBuf, 0)
+			keyBuf = binary.AppendUvarint(keyBuf, uint64(len(partBuf)))
+			keyBuf = append(keyBuf, partBuf...)
 		}
 		key := string(keyBuf)
 		st, ok := t.groups[key]
 		if !ok {
-			st = &aggState{
-				sums:   make([]float64, len(a.Aggs)),
-				mins:   make([]float64, len(a.Aggs)),
-				maxs:   make([]float64, len(a.Aggs)),
-				seen:   make([]bool, len(a.Aggs)),
-				sample: int32(row),
-			}
+			st = a.newAggState(int32(row))
 			t.groups[key] = st
 			t.order = append(t.order, key)
 		}
@@ -128,12 +159,19 @@ func (a *HashAgg) aggRange(t *aggTable, groupCols, aggCols []*Col, lo, hi int) {
 			if c == nil {
 				continue
 			}
-			var v float64
 			if c.Type == colstore.Int64 {
-				v = float64(c.I[row])
-			} else {
-				v = c.F[row]
+				v := c.I[row]
+				st.isums[i] += v
+				if !st.seen[i] || v < st.imins[i] {
+					st.imins[i] = v
+				}
+				if !st.seen[i] || v > st.imaxs[i] {
+					st.imaxs[i] = v
+				}
+				st.seen[i] = true
+				continue
 			}
+			v := c.F[row]
 			st.sums[i] += v
 			if !st.seen[i] || v < st.mins[i] {
 				st.mins[i] = v
@@ -161,12 +199,19 @@ func mergeInto(dst, src *aggTable) {
 		ds.count += ss.count
 		for i := range ds.sums {
 			ds.sums[i] += ss.sums[i]
+			ds.isums[i] += ss.isums[i]
 			if ss.seen[i] {
 				if !ds.seen[i] || ss.mins[i] < ds.mins[i] {
 					ds.mins[i] = ss.mins[i]
 				}
 				if !ds.seen[i] || ss.maxs[i] > ds.maxs[i] {
 					ds.maxs[i] = ss.maxs[i]
+				}
+				if !ds.seen[i] || ss.imins[i] < ds.imins[i] {
+					ds.imins[i] = ss.imins[i]
+				}
+				if !ds.seen[i] || ss.imaxs[i] > ds.imaxs[i] {
+					ds.imaxs[i] = ss.imaxs[i]
 				}
 				ds.seen[i] = true
 			}
@@ -204,17 +249,10 @@ func (a *HashAgg) buildOutput(t *aggTable, groupCols, aggCols []*Col) *Relation 
 	}
 	// Aggregate output columns.
 	for ai, s := range a.Aggs {
-		name := s.As
-		if name == "" {
-			name = strings.ToLower(s.Func.String())
-			if s.Col != "" {
-				name += "_" + s.Col
-			}
-		}
+		intIn := aggCols[ai] != nil && aggCols[ai].Type == colstore.Int64
 		intOut := s.Func == expr.AggCount ||
-			(aggCols[ai] != nil && aggCols[ai].Type == colstore.Int64 &&
-				(s.Func == expr.AggSum || s.Func == expr.AggMin || s.Func == expr.AggMax))
-		oc := Col{Name: name}
+			(intIn && (s.Func == expr.AggSum || s.Func == expr.AggMin || s.Func == expr.AggMax))
+		oc := Col{Name: aggOutName(s)}
 		if intOut {
 			oc.Type = colstore.Int64
 			oc.I = make([]int64, len(t.order))
@@ -224,10 +262,23 @@ func (a *HashAgg) buildOutput(t *aggTable, groupCols, aggCols []*Col) *Relation 
 		}
 		for i, key := range t.order {
 			st := t.groups[key]
+			if intOut {
+				// Integer aggregates come straight from the exact int64
+				// accumulators — no float round-trip.
+				switch s.Func {
+				case expr.AggCount:
+					oc.I[i] = st.count
+				case expr.AggSum:
+					oc.I[i] = st.isums[ai]
+				case expr.AggMin:
+					oc.I[i] = st.imins[ai]
+				case expr.AggMax:
+					oc.I[i] = st.imaxs[ai]
+				}
+				continue
+			}
 			var v float64
 			switch s.Func {
-			case expr.AggCount:
-				v = float64(st.count)
 			case expr.AggSum:
 				v = st.sums[ai]
 			case expr.AggMin:
@@ -236,18 +287,31 @@ func (a *HashAgg) buildOutput(t *aggTable, groupCols, aggCols []*Col) *Relation 
 				v = st.maxs[ai]
 			case expr.AggAvg:
 				if st.count > 0 {
-					v = st.sums[ai] / float64(st.count)
+					if intIn {
+						v = float64(st.isums[ai]) / float64(st.count)
+					} else {
+						v = st.sums[ai] / float64(st.count)
+					}
 				}
 			}
-			if intOut {
-				oc.I[i] = int64(v)
-			} else {
-				oc.F[i] = v
-			}
+			oc.F[i] = v
 		}
 		out.Cols = append(out.Cols, oc)
 	}
 	return out
+}
+
+// aggOutName derives an aggregate's output column name — shared by the
+// legacy and fused output builders so fusion never changes the schema.
+func aggOutName(s expr.AggSpec) string {
+	if s.As != "" {
+		return s.As
+	}
+	name := strings.ToLower(s.Func.String())
+	if s.Col != "" {
+		name += "_" + s.Col
+	}
+	return name
 }
 
 // rangeWork prices aggregating rows [lo, hi) into a partial table of
@@ -267,6 +331,14 @@ func (a *HashAgg) rangeWork(lo, hi, groups int) energy.Counters {
 
 // Run implements Node.
 func (a *HashAgg) Run(ctx *Ctx) (*Relation, error) {
+	// Fused filter→aggregate path: when the child is a fusable
+	// ParallelScan, aggregate straight off the compressed segments in one
+	// pass per morsel (fused.go) instead of materializing the filtered
+	// relation first.  The fused output is byte-identical to this
+	// operator's own output over the scan's relation.
+	if fp := a.fusedAggPlan(); fp != nil {
+		return a.runFusedAgg(ctx, fp)
+	}
 	in, err := a.Child.Run(ctx)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,912 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/colstore"
+	"repro/internal/energy"
+	"repro/internal/expr"
+	"repro/internal/vec"
+)
+
+// Fused operate-on-compressed pipelines (ROADMAP item 5).
+//
+// The classic filter→aggregate and filter→probe paths materialize a fully
+// decoded Relation per morsel — every selected row's bytes move through
+// DRAM once to build the intermediate and again to consume it.  The fused
+// kernels below go compressed segment → selected rows → partial aggregate
+// / probe pairs in ONE pass per morsel, using colstore's SegSpan surface:
+//
+//	RLE spans    aggregate run-at-a-time in O(runs): a selected run of
+//	             length L contributes count += L and sum += L*v without
+//	             expanding a single row (vec.CountRange pops the selection
+//	             bits of the run's interval word-wise).
+//	dict spans   GROUP BY in the code domain: packed codes stream once,
+//	             a flat code→slot array replaces the hash probe, and the
+//	             per-segment dictionary is touched once per distinct code
+//	             — the PR 4 join-code trick extended to aggregation.
+//	other spans  (raw, bitpack, delta — including the unsealed delta
+//	             tail, which surfaces as an EncRaw span) bulk-decode the
+//	             span once and fold row-at-a-time inside the same morsel,
+//	             so a fused scan stays a pure function of (snapshot,
+//	             predicates) across the main/delta boundary.
+//
+// Fusion is transparent: HashAgg.Run and ParallelJoin.Run detect a
+// fusable ParallelScan child and bypass its materialization; every other
+// shape takes the legacy path unchanged, and the Unfused escape hatch
+// pins the legacy path for A/B runs (experiment E24) and the
+// byte-identity tests.
+//
+// Determinism contract.  The fused output relation is byte-identical to
+// the legacy path's: predicates run through the exact same ScanRows /
+// FilterVisible sequence, group keys are single int64 values (an integer
+// group value or a global dictionary code — never concatenated bytes, so
+// the aggRange NUL-collision class of bug cannot exist here), integer
+// aggregates accumulate in exact int64 arithmetic (associative, so the
+// table-grid and the legacy filtered-grid sum bit-identically), and
+// partials merge in morsel order.  Value-needing aggregates over Float64
+// columns are NOT eligible: float addition is non-associative and the
+// fused morsel grid differs from the legacy one, so those plans keep the
+// legacy path and its pinned accumulation order.  Charged counters are
+// pure functions of (snapshot, plan, data) — never of DOP — like every
+// other morsel kernel in this package.
+
+// ---------------------------------------------------------------------------
+// Fused filter→aggregate
+// ---------------------------------------------------------------------------
+
+// fusedAggPlan is a resolved, eligible Scan+HashAgg fusion: the scan's
+// predicate columns, the group-key source, and the aggregate inputs,
+// all bound against the base table before any worker starts.
+type fusedAggPlan struct {
+	scan     *ParallelScan
+	predCols []colstore.Column
+	// Group-key source; both nil for global (no GROUP BY) aggregation.
+	// For a string group column, groupInts is its code column and keys
+	// are global dictionary codes, decoded to strings once at output.
+	groupInts *colstore.IntColumn
+	groupStr  *colstore.StringColumn
+	groupName string
+	groupType colstore.Type
+	// aggInts[i] is the Int64 input of aggregate i, nil when the
+	// aggregate needs no values (COUNT).
+	aggInts []*colstore.IntColumn
+}
+
+// fusedAggPlan reports how (and whether) this HashAgg can fuse into its
+// child scan.  Any ineligibility — wrong child shape, multi-column or
+// float group keys, float aggregate inputs, unresolvable columns — simply
+// returns nil and the legacy path runs (and reports any binding errors
+// exactly as before).
+func (a *HashAgg) fusedAggPlan() *fusedAggPlan {
+	if a.Unfused || len(a.GroupBy) > 1 {
+		return nil
+	}
+	s, ok := a.Child.(*ParallelScan)
+	if !ok {
+		return nil
+	}
+	names := s.Select
+	if len(names) == 0 {
+		for _, d := range s.Table.Schema() {
+			names = append(names, d.Name)
+		}
+	}
+	idxOf := func(name string) int {
+		for i, n := range names {
+			if n == name {
+				return i
+			}
+		}
+		return -1
+	}
+	outCols := make([]colstore.Column, len(names))
+	for i, name := range names {
+		c, err := s.Table.Column(name)
+		if err != nil {
+			return nil // the legacy scan reports the error
+		}
+		outCols[i] = c
+	}
+	fp := &fusedAggPlan{scan: s}
+	fp.predCols = make([]colstore.Column, len(s.Preds))
+	for i, p := range s.Preds {
+		c, err := s.Table.Column(p.Col)
+		if err != nil || checkPredType(c, p) != nil {
+			return nil
+		}
+		fp.predCols[i] = c
+	}
+	asCode := codeFlags(names, outCols, s.Codes)
+	if len(a.GroupBy) == 1 {
+		g := a.GroupBy[0]
+		gi := idxOf(g)
+		if gi < 0 || asCode[gi] {
+			return nil
+		}
+		switch gc := outCols[gi].(type) {
+		case *colstore.IntColumn:
+			fp.groupInts, fp.groupType = gc, colstore.Int64
+		case *colstore.StringColumn:
+			fp.groupStr, fp.groupInts, fp.groupType = gc, gc.CodeColumn(), colstore.String
+		default:
+			return nil // float group keys keep the generic path
+		}
+		fp.groupName = g
+	}
+	fp.aggInts = make([]*colstore.IntColumn, len(a.Aggs))
+	for i, spec := range a.Aggs {
+		if spec.Func == expr.AggCount {
+			if spec.Col != "" && idxOf(spec.Col) < 0 {
+				return nil // COUNT(col) on a column the scan doesn't emit
+			}
+			continue
+		}
+		ci := idxOf(spec.Col)
+		if ci < 0 || asCode[ci] {
+			return nil
+		}
+		ic, ok := outCols[ci].(*colstore.IntColumn)
+		if !ok {
+			return nil // float (or string) aggregate inputs stay legacy
+		}
+		fp.aggInts[i] = ic
+	}
+	return fp
+}
+
+// fusedAggTable is one (partial) fused aggregation result: an
+// open-addressing table over int64 group keys with flat accumulator
+// arrays — no Go map, no string keys, group-major layout.  slotGroup
+// stores group index + 1 so a freshly made table is all-empty without a
+// fill pass.
+//
+//lint:hotpath
+type fusedAggTable struct {
+	mask      uint64
+	slotKey   []int64
+	slotGroup []int32 // group index + 1; 0 = empty
+	keys      []int64 // group keys in first-seen order
+	counts    []int64 // per group
+	isums     []int64 // group-major: [group*nAggs + agg]
+	imins     []int64
+	imaxs     []int64
+	seen      []bool
+	nAggs     int
+}
+
+func newFusedAggTable(nAggs int) *fusedAggTable {
+	const size = 256
+	return &fusedAggTable{
+		mask:      size - 1,
+		slotKey:   make([]int64, size),
+		slotGroup: make([]int32, size),
+		nAggs:     nAggs,
+	}
+}
+
+// slot returns key's group index, inserting it (in first-seen order) on
+// first sight.
+func (t *fusedAggTable) slot(key int64) int32 {
+	i := mix64(uint64(key)) & t.mask
+	for {
+		g := t.slotGroup[i]
+		if g == 0 {
+			t.slotKey[i] = key
+			t.keys = append(t.keys, key)
+			t.counts = append(t.counts, 0)
+			for a := 0; a < t.nAggs; a++ {
+				t.isums = append(t.isums, 0)
+				t.imins = append(t.imins, 0)
+				t.imaxs = append(t.imaxs, 0)
+				t.seen = append(t.seen, false)
+			}
+			g = int32(len(t.keys))
+			t.slotGroup[i] = g
+			if uint64(len(t.keys))*2 >= t.mask+1 {
+				t.grow()
+			}
+			return g - 1
+		}
+		if t.slotKey[i] == key {
+			return g - 1
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *fusedAggTable) grow() {
+	size := (t.mask + 1) * 2
+	t.mask = size - 1
+	t.slotKey = make([]int64, size)
+	t.slotGroup = make([]int32, size)
+	for gi, key := range t.keys {
+		i := mix64(uint64(key)) & t.mask
+		for t.slotGroup[i] != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.slotKey[i] = key
+		t.slotGroup[i] = int32(gi + 1)
+	}
+}
+
+// addN folds n occurrences of value v into aggregate ai of group g — the
+// run-at-a-time closed form (sum += n*v; min/max see v once) and, with
+// n=1, the row-at-a-time case.
+func (t *fusedAggTable) addN(g int32, ai int, v, n int64) {
+	o := int(g)*t.nAggs + ai
+	t.isums[o] += v * n
+	if !t.seen[o] || v < t.imins[o] {
+		t.imins[o] = v
+	}
+	if !t.seen[o] || v > t.imaxs[o] {
+		t.imaxs[o] = v
+	}
+	t.seen[o] = true
+}
+
+// mergeFrom folds the partial src into t.  Like mergeInto, callers must
+// merge partials in morsel order so first-seen group order is the global
+// row order of first selected occurrence.
+func (t *fusedAggTable) mergeFrom(src *fusedAggTable) {
+	for gi, key := range src.keys {
+		g := t.slot(key)
+		t.counts[g] += src.counts[gi]
+		for a := 0; a < t.nAggs; a++ {
+			so, do := gi*t.nAggs+a, int(g)*t.nAggs+a
+			t.isums[do] += src.isums[so]
+			if src.seen[so] {
+				if !t.seen[do] || src.imins[so] < t.imins[do] {
+					t.imins[do] = src.imins[so]
+				}
+				if !t.seen[do] || src.imaxs[so] > t.imaxs[do] {
+					t.imaxs[do] = src.imaxs[so]
+				}
+				t.seen[do] = true
+			}
+		}
+	}
+}
+
+// runFusedAgg executes the fused filter→aggregate pipeline: one pass per
+// morsel over the base table, partials merged in morsel order.
+func (a *HashAgg) runFusedAgg(ctx *Ctx, fp *fusedAggPlan) (*Relation, error) {
+	snap := ctx.SnapTS
+	n := fp.scan.Table.RowsAsOf(snap)
+	partials, work := runMorsels(ctx, n, func(m, lo, hi int) (*fusedAggTable, energy.Counters) {
+		return a.fusedAggMorsel(fp, snap, lo, hi)
+	})
+	if ctx.Canceled() {
+		return nil, ErrCanceled
+	}
+	final := newFusedAggTable(len(a.Aggs))
+	var partialGroups uint64
+	for _, p := range partials {
+		partialGroups += uint64(len(p.keys))
+		final.mergeFrom(p)
+	}
+	ctx.Trace(a.Label()+" [fused]", len(final.keys), work)
+	// Same merge accounting as the legacy parallel path, over the fused
+	// morsel grid's partial-group count.
+	ctx.Charge(fmt.Sprintf("agg-merge(%d partials)", len(partials)), len(final.keys), energy.Counters{
+		TuplesIn:     partialGroups,
+		TuplesOut:    uint64(len(final.keys)),
+		Instructions: partialGroups * 12,
+		CacheMisses:  partialGroups / 4,
+	})
+	return a.buildFusedOutput(fp, final), nil
+}
+
+// fusedAggMorsel filters rows [lo, hi) with the scan's own predicate
+// sequence — charging the exact same scan counters — and folds the
+// selected rows into a partial table without materializing them.
+func (a *HashAgg) fusedAggMorsel(fp *fusedAggPlan, snap int64, lo, hi int) (*fusedAggTable, energy.Counters) {
+	nrows := hi - lo
+	sel := vec.NewBitvec(nrows)
+	sel.SetAll()
+	var w energy.Counters
+	s := fp.scan
+	for i, p := range s.Preds {
+		pb := vec.NewBitvec(nrows)
+		switch c := fp.predCols[i].(type) {
+		case *colstore.IntColumn:
+			w.Add(c.ScanRows(p.Op, p.Val.I, lo, hi, pb))
+		case *colstore.FloatColumn:
+			w.Add(c.ScanRows(p.Op, p.Val.F, lo, hi, pb))
+		case *colstore.StringColumn:
+			w.Add(c.ScanRows(p.Op, p.Val.S, lo, hi, pb))
+		}
+		sel.And(pb)
+	}
+	if len(s.Preds) == 0 {
+		w.TuplesIn += uint64(nrows)
+	}
+	w.Add(s.Table.FilterVisible(snap, lo, hi, sel))
+	selCnt := sel.Count()
+	w.TuplesOut += uint64(selCnt) // the scan stage's logical output
+
+	t := newFusedAggTable(len(a.Aggs))
+	if selCnt > 0 {
+		w.Add(a.fusedFold(fp, t, sel, lo, hi, selCnt))
+		// The aggregate stage's logical rows plus its fold budget; the
+		// physical decode/run-stream work is priced inside fusedFold per
+		// span.  Strictly below the legacy rangeWork, which pays one hash
+		// probe miss per row and re-reads every group/agg value at full
+		// width from the materialized intermediate.
+		w.Add(energy.Counters{
+			TuplesIn:     uint64(selCnt),
+			TuplesOut:    uint64(len(t.keys)),
+			Instructions: uint64(selCnt) * uint64(4+2*len(a.Aggs)),
+			CacheMisses:  uint64(selCnt) / 8,
+		})
+	}
+	return t, w
+}
+
+// fusedFold accumulates the selected rows of window [lo, hi) into t,
+// operating on the compressed segments directly.  Sparse selections
+// (under 1/8 of the window) take point reads instead of span streams —
+// a fixed density rule, and like the rest of the fused pricing a pure
+// function of (snapshot, predicates, grid).
+func (a *HashAgg) fusedFold(fp *fusedAggPlan, t *fusedAggTable, sel *vec.Bitvec, lo, hi, selCnt int) energy.Counters {
+	var w energy.Counters
+	nrows := hi - lo
+	sparse := selCnt*8 < nrows
+	sparseWork := func(n int) energy.Counters {
+		return energy.Counters{CacheMisses: uint64(n) / 4, Instructions: uint64(n) * 2}
+	}
+
+	// Lazily materialized per-aggregate value windows, indexed by local
+	// row.  Only aggregates that cannot use a closed form read them.
+	vals := make([][]int64, len(fp.aggInts))
+	getVals := func(ai int) []int64 {
+		if vals[ai] != nil {
+			return vals[ai]
+		}
+		buf := make([]int64, nrows)
+		c := fp.aggInts[ai]
+		if sparse {
+			sel.ForEach(func(i int) { buf[i] = c.Get(lo + i) })
+			w.Add(sparseWork(selCnt))
+		} else {
+			for _, vsp := range c.Spans(lo, hi) {
+				w.Add(vsp.Decode(buf[vsp.A-lo : vsp.B-lo]))
+			}
+		}
+		vals[ai] = buf
+		return buf
+	}
+	foldRow := func(g int32, i int) {
+		t.counts[g]++
+		for ai, ic := range fp.aggInts {
+			if ic == nil {
+				continue
+			}
+			t.addN(g, ai, getVals(ai)[i], 1)
+		}
+	}
+
+	// Global aggregation: the count is free of any column touch, and RLE
+	// aggregate inputs fold run-at-a-time.
+	if fp.groupInts == nil {
+		g := t.slot(0)
+		t.counts[g] += int64(selCnt)
+		for ai, ic := range fp.aggInts {
+			if ic == nil {
+				continue
+			}
+			if sparse {
+				vv := getVals(ai)
+				sel.ForEach(func(i int) { t.addN(g, ai, vv[i], 1) })
+				continue
+			}
+			for _, sp := range ic.Spans(lo, hi) {
+				if sp.Enc == colstore.EncRLE {
+					w.Add(sp.Runs(func(v int64, ra, rb int) {
+						if c := sel.CountRange(ra-lo, rb-lo); c > 0 {
+							t.addN(g, ai, v, int64(c))
+						}
+					}))
+					continue
+				}
+				buf := make([]int64, sp.B-sp.A)
+				w.Add(sp.Decode(buf))
+				la := sp.A - lo
+				sel.ForEachRange(la, sp.B-lo, func(i int) {
+					t.addN(g, ai, buf[i-la], 1)
+				})
+			}
+		}
+		return w
+	}
+
+	// Grouped aggregation, sparse: point-read the group keys of the
+	// selected rows only.
+	if sparse {
+		sel.ForEach(func(i int) {
+			foldRow(t.slot(fp.groupInts.Get(lo+i)), i)
+		})
+		w.Add(sparseWork(selCnt))
+		return w
+	}
+
+	// Grouped aggregation, dense: sweep the group column span-wise in its
+	// physical layout.
+	for _, sp := range fp.groupInts.Spans(lo, hi) {
+		la, lb := sp.A-lo, sp.B-lo
+		switch sp.Enc {
+		case colstore.EncRLE:
+			w.Add(sp.Runs(func(v int64, ra, rb int) {
+				c := sel.CountRange(ra-lo, rb-lo)
+				if c == 0 {
+					return
+				}
+				g := t.slot(v)
+				t.counts[g] += int64(c)
+				for ai, ic := range fp.aggInts {
+					if ic == nil {
+						continue
+					}
+					if ic == fp.groupInts {
+						// SUM(x) GROUP BY x: run closed form, no expansion.
+						t.addN(g, ai, v, int64(c))
+						continue
+					}
+					vv := getVals(ai)
+					sel.ForEachRange(ra-lo, rb-lo, func(i int) { t.addN(g, ai, vv[i], 1) })
+				}
+			}))
+		case colstore.EncDict:
+			dict := sp.DictVals()
+			codes := make([]int64, lb-la)
+			w.Add(sp.Codes(codes))
+			// Flat code→group memo: one table insert per distinct code per
+			// span, one array load per row — no hash probe in the loop.
+			code2group := make([]int32, len(dict))
+			for i := range code2group {
+				code2group[i] = -1
+			}
+			sel.ForEachRange(la, lb, func(i int) {
+				code := codes[i-la]
+				g := code2group[code]
+				if g < 0 {
+					g = t.slot(dict[code])
+					code2group[code] = g
+				}
+				foldRow(g, i)
+			})
+		default: // raw (incl. delta tail), bitpack, delta: bulk decode once
+			buf := make([]int64, lb-la)
+			w.Add(sp.Decode(buf))
+			sel.ForEachRange(la, lb, func(i int) {
+				foldRow(t.slot(buf[i-la]), i)
+			})
+		}
+	}
+	return w
+}
+
+// buildFusedOutput materializes the fused result, decoding string group
+// keys through the dictionary exactly once per output group.
+func (a *HashAgg) buildFusedOutput(fp *fusedAggPlan, t *fusedAggTable) *Relation {
+	n := len(t.keys)
+	out := &Relation{N: n}
+	if len(a.GroupBy) == 1 {
+		oc := Col{Name: fp.groupName, Type: fp.groupType}
+		if fp.groupStr != nil {
+			dict := fp.groupStr.Dict()
+			oc.S = make([]string, n)
+			for i, k := range t.keys {
+				oc.S[i] = dict[k]
+			}
+		} else {
+			oc.I = make([]int64, n)
+			copy(oc.I, t.keys)
+		}
+		out.Cols = append(out.Cols, oc)
+	}
+	for ai, s := range a.Aggs {
+		intIn := fp.aggInts[ai] != nil
+		intOut := s.Func == expr.AggCount ||
+			(intIn && (s.Func == expr.AggSum || s.Func == expr.AggMin || s.Func == expr.AggMax))
+		oc := Col{Name: aggOutName(s)}
+		if intOut {
+			oc.Type = colstore.Int64
+			oc.I = make([]int64, n)
+		} else {
+			oc.Type = colstore.Float64
+			oc.F = make([]float64, n)
+		}
+		for gi := 0; gi < n; gi++ {
+			o := gi*t.nAggs + ai
+			if intOut {
+				switch s.Func {
+				case expr.AggCount:
+					oc.I[gi] = t.counts[gi]
+				case expr.AggSum:
+					oc.I[gi] = t.isums[o]
+				case expr.AggMin:
+					oc.I[gi] = t.imins[o]
+				case expr.AggMax:
+					oc.I[gi] = t.imaxs[o]
+				}
+				continue
+			}
+			// The only float-typed fused aggregate is AVG over an Int64
+			// input (value-needing fused inputs are always Int64).
+			if s.Func == expr.AggAvg && t.counts[gi] > 0 {
+				oc.F[gi] = float64(t.isums[o]) / float64(t.counts[gi])
+			}
+		}
+		out.Cols = append(out.Cols, oc)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Fused filter→probe
+// ---------------------------------------------------------------------------
+
+// fusedProbePlan is a resolved, eligible ParallelScan probe side of a
+// ParallelJoin: the probe keys stream straight from the compressed key
+// segments, and the intermediate probe Relation is never built — matched
+// rows gather from the base table after the probe.
+type fusedProbePlan struct {
+	scan     *ParallelScan
+	names    []string // the scan's effective projection
+	outCols  []colstore.Column
+	asCode   []bool
+	predCols []colstore.Column
+	keyIdx   int
+	// keyInts yields the probe keys: the key column itself, or a string
+	// key's global code column (keys are then global dictionary codes).
+	keyInts *colstore.IntColumn
+	keyStr  *colstore.StringColumn
+}
+
+// fusedProbePlan reports how (and whether) this join can fuse its probe
+// feed into the left child scan.  nil falls back to the legacy path,
+// which reports any binding errors itself.
+func (j *ParallelJoin) fusedProbePlan() *fusedProbePlan {
+	if j.Unfused {
+		return nil
+	}
+	s, ok := j.Left.(*ParallelScan)
+	if !ok {
+		return nil
+	}
+	names := s.Select
+	if len(names) == 0 {
+		for _, d := range s.Table.Schema() {
+			names = append(names, d.Name)
+		}
+	}
+	fp := &fusedProbePlan{scan: s, names: names, keyIdx: -1}
+	fp.outCols = make([]colstore.Column, len(names))
+	for i, name := range names {
+		c, err := s.Table.Column(name)
+		if err != nil {
+			return nil
+		}
+		fp.outCols[i] = c
+	}
+	fp.predCols = make([]colstore.Column, len(s.Preds))
+	for i, p := range s.Preds {
+		c, err := s.Table.Column(p.Col)
+		if err != nil || checkPredType(c, p) != nil {
+			return nil
+		}
+		fp.predCols[i] = c
+	}
+	fp.asCode = codeFlags(names, fp.outCols, s.Codes)
+	for i, name := range names {
+		if name == j.LeftKey {
+			fp.keyIdx = i
+			break
+		}
+	}
+	if fp.keyIdx < 0 {
+		return nil
+	}
+	switch kc := fp.outCols[fp.keyIdx].(type) {
+	case *colstore.IntColumn:
+		fp.keyInts = kc
+	case *colstore.StringColumn:
+		if !fp.asCode[fp.keyIdx] {
+			return nil // raw string keys: the serial string join handles them
+		}
+		fp.keyStr, fp.keyInts = kc, kc.CodeColumn()
+	default:
+		return nil
+	}
+	return fp
+}
+
+// runFusedProbe executes partition → build → fused probe → gather.  The
+// bool result reports whether the fused pipeline ran: false means a
+// runtime bypass (tiny inputs, raw build-side strings) and the caller
+// must materialize the probe side and take the classic paths, which own
+// those cases.
+func (j *ParallelJoin) runFusedProbe(ctx *Ctx, fp *fusedProbePlan, right *Relation) (*Relation, bool, error) {
+	rk, err := right.Col(j.RightKey)
+	if err != nil {
+		return nil, true, err
+	}
+	lkType := colstore.Int64
+	if fp.keyStr != nil {
+		lkType = colstore.String
+	}
+	if lkType != rk.Type {
+		return nil, true, fmt.Errorf("exec: join key type mismatch %v vs %v", lkType, rk.Type)
+	}
+	snap := ctx.SnapTS
+	n := fp.scan.Table.RowsAsOf(snap)
+	if n+right.N < ParallelJoinFallbackRows {
+		return nil, false, nil
+	}
+	label := j.Label()
+
+	// Build-side keys in the probe key's domain: integer keys pass
+	// through; dictionary codes translate through the probe column's
+	// global dictionary once — without touching a single probe row.
+	var rkeys []int64
+	translated := false
+	if fp.keyStr == nil {
+		rkeys = rk.I
+	} else {
+		if rk.Dict == nil {
+			return nil, false, nil // raw build strings: serial string join
+		}
+		probeDict := fp.keyStr.Dict()
+		if sameDict(probeDict, rk.Dict) {
+			rkeys = rk.I
+		} else {
+			var tw energy.Counters
+			rkeys, translated, tw = translateBuildCodes(probeDict, rk)
+			ctx.Charge(label+" [translate]", 0, tw)
+		}
+	}
+
+	kbits := radixBits(right.N)
+	nparts := 1 << kbits
+	shift := 64 - uint(kbits)
+
+	chunks, pw := runMorsels(ctx, right.N, func(m, lo, hi int) (partChunk, energy.Counters) {
+		return scatterMorsel(rkeys, translated, lo, hi, nparts, shift)
+	})
+	if ctx.Canceled() {
+		return nil, true, ErrCanceled
+	}
+	ctx.Trace(label+" [partition]", right.N, pw)
+
+	tables, bw := runPool(ctx, nparts, func(p int) (*joinTable, energy.Counters) {
+		return buildPartition(chunks, p)
+	})
+	if ctx.Canceled() {
+		return nil, true, ErrCanceled
+	}
+	ctx.Trace(label+" [build]", right.N, bw)
+
+	// Fused probe: filter + key stream + table probe in one pass per
+	// morsel over the base table; pairs carry global probe-row ids.
+	pairs, qw := runMorsels(ctx, n, func(m, lo, hi int) (pairChunk, energy.Counters) {
+		return fp.probeMorsel(snap, lo, hi, tables, shift)
+	})
+	if ctx.Canceled() {
+		return nil, true, ErrCanceled
+	}
+	matches := 0
+	for _, pc := range pairs {
+		matches += len(pc.l)
+	}
+	ctx.Trace(label+" [fused probe]", matches, qw)
+
+	lRows := make([]int32, 0, matches)
+	rRows := make([]int32, 0, matches)
+	mKeys := make([]int64, 0, matches)
+	for _, pc := range pairs {
+		lRows = append(lRows, pc.l...)
+		rRows = append(rRows, pc.r...)
+		mKeys = append(mKeys, pc.k...)
+	}
+
+	out, gw := fp.gatherOut(right, j.RightKey, mKeys, lRows, rRows)
+	ctx.Charge(label+" [gather]", out.N, gw)
+	return out, true, nil
+}
+
+// probeMorsel filters rows [lo, hi) with the scan's predicate sequence,
+// streams the selected probe keys straight from the key segments, and
+// probes the partition tables — emitting matches in probe-row order
+// without ever materializing the probe side.
+func (fp *fusedProbePlan) probeMorsel(snap int64, lo, hi int, tables []*joinTable, shift uint) (pairChunk, energy.Counters) {
+	nrows := hi - lo
+	sel := vec.NewBitvec(nrows)
+	sel.SetAll()
+	var w energy.Counters
+	for i, p := range fp.scan.Preds {
+		pb := vec.NewBitvec(nrows)
+		switch c := fp.predCols[i].(type) {
+		case *colstore.IntColumn:
+			w.Add(c.ScanRows(p.Op, p.Val.I, lo, hi, pb))
+		case *colstore.FloatColumn:
+			w.Add(c.ScanRows(p.Op, p.Val.F, lo, hi, pb))
+		case *colstore.StringColumn:
+			w.Add(c.ScanRows(p.Op, p.Val.S, lo, hi, pb))
+		}
+		sel.And(pb)
+	}
+	if len(fp.scan.Preds) == 0 {
+		w.TuplesIn += uint64(nrows)
+	}
+	w.Add(fp.scan.Table.FilterVisible(snap, lo, hi, sel))
+	selCnt := sel.Count()
+	w.TuplesOut += uint64(selCnt) // the scan stage's logical output
+
+	var pc pairChunk
+	if selCnt == 0 {
+		return pc, w
+	}
+	// Key stream: a fully selected window bulk-decodes like gatherCol's
+	// dense branch; anything narrower pays point reads at gatherCol's
+	// sparse price (dictionary codes skip the deref and cost less).
+	// This is exactly what the classic scan charges to extract the same
+	// key column, so the cross-path energy gap measures eliminated
+	// materialization, not pricing skew — and it stays a pure function
+	// of (snapshot, predicates, grid).
+	keys := make([]int64, nrows)
+	switch {
+	case selCnt == nrows:
+		w.Add(fp.keyInts.DecodeRange(lo, hi, keys))
+	case fp.keyStr != nil:
+		sel.ForEach(func(i int) { keys[i] = fp.keyInts.Get(lo + i) })
+		w.Add(energy.Counters{CacheMisses: uint64(selCnt) / 8, Instructions: uint64(selCnt)})
+	default:
+		sel.ForEach(func(i int) { keys[i] = fp.keyInts.Get(lo + i) })
+		w.Add(energy.Counters{CacheMisses: uint64(selCnt) / 4, Instructions: uint64(selCnt) * 2})
+	}
+	steps := 0
+	sel.ForEach(func(i int) {
+		k := keys[i]
+		t := tables[mix64(uint64(k))>>shift]
+		if t == nil {
+			steps++
+			return
+		}
+		e, st := t.lookup(k)
+		steps += st
+		for ; e != -1; e = t.next[e] {
+			pc.l = append(pc.l, int32(lo+i))
+			pc.r = append(pc.r, t.rows[e])
+			pc.k = append(pc.k, k)
+		}
+	})
+	matches := uint64(len(pc.l))
+	// Probe-stage counters over the selected rows only.  No 8-byte key
+	// re-stream: the decode above already paid the physical bytes — the
+	// saving the fused feed exists for.
+	w.Add(energy.Counters{
+		TuplesIn:         uint64(selCnt),
+		TuplesOut:        matches,
+		BytesWrittenDRAM: matches * 8,
+		CacheMisses:      uint64(selCnt)/2 + matches/4,
+		Instructions:     uint64(selCnt)*8 + matches*4 + uint64(steps),
+	})
+	return pc, w
+}
+
+// gatherOut materializes the join output: the key column verbatim from
+// the probe-stage key stream, the other left columns straight from the
+// base table at the matched global rows, right columns from the build
+// relation with the (value-redundant) right key pruned.
+func (fp *fusedProbePlan) gatherOut(right *Relation, rightKey string, keys []int64, lRows, rRows []int32) (*Relation, energy.Counters) {
+	pruned := &Relation{N: right.N}
+	for _, c := range right.Cols {
+		if c.Name != rightKey {
+			pruned.Cols = append(pruned.Cols, c)
+		}
+	}
+	rOut := pruned.gather(rRows)
+	lOut := &Relation{N: len(lRows), Cols: make([]Col, len(fp.names))}
+	var w energy.Counters
+	for ci, col := range fp.outCols {
+		if ci == fp.keyIdx {
+			// The probe stage decoded the key for every match and emitted
+			// it with the row pair, so the output key column is those
+			// values verbatim — no second touch of the key segments (the
+			// re-read the fused feed exists to eliminate).  Movement into
+			// the output block is priced once, below.
+			oc := Col{Name: fp.names[ci], Type: col.Type()}
+			if fp.keyStr != nil {
+				oc.Dict = fp.keyStr.Dict()
+			}
+			oc.I = append([]int64(nil), keys...)
+			lOut.Cols[ci] = oc
+			continue
+		}
+		oc, gw := fusedGatherCol(col, fp.names[ci], fp.asCode[ci], lRows)
+		lOut.Cols[ci] = oc
+		w.Add(gw)
+	}
+	out := mergeJoinColumns(lOut, rOut, rightKey)
+	ncols := len(out.Cols)
+	w.Add(energy.Counters{
+		BytesReadDRAM:    rOut.Bytes(), // left-side reads priced per column above
+		BytesWrittenDRAM: lOut.Bytes() + rOut.Bytes(),
+		CacheMisses:      uint64(out.N*ncols) / 4,
+		Instructions:     uint64(out.N*ncols) * 2,
+	})
+	return out, w
+}
+
+// fusedGatherCol materializes the matched global rows of one stored
+// column, pricing the physical reads like gatherCol does for scans.
+func fusedGatherCol(col colstore.Column, name string, asCode bool, rows []int32) (Col, energy.Counters) {
+	oc := Col{Name: name, Type: col.Type()}
+	n := len(rows)
+	sparse := energy.Counters{CacheMisses: uint64(n) / 4, Instructions: uint64(n) * 2}
+	switch c := col.(type) {
+	case *colstore.IntColumn:
+		oc.I = make([]int64, n)
+		return oc, gatherStoredInts(c, rows, oc.I)
+	case *colstore.FloatColumn:
+		oc.F = make([]float64, n)
+		for i, r := range rows {
+			oc.F[i] = c.Get(int(r))
+		}
+		return oc, sparse
+	case *colstore.StringColumn:
+		codes := c.CodeColumn()
+		if asCode {
+			oc.Dict = c.Dict()
+			oc.I = make([]int64, n)
+			return oc, gatherStoredInts(codes, rows, oc.I)
+		}
+		oc.S = make([]string, n)
+		buf := make([]int64, n)
+		w := gatherStoredInts(codes, rows, buf)
+		dict := c.Dict()
+		for i, code := range buf {
+			oc.S[i] = dict[code]
+		}
+		w.Add(energy.Counters{CacheMisses: uint64(n) / 4, Instructions: uint64(n)})
+		return oc, w
+	}
+	return oc, energy.Counters{}
+}
+
+// gatherStoredInts reads the given global rows (ascending, duplicates
+// allowed) from a stored int column, priced as point reads — gatherCol's
+// sparse convention, because a join's match list is never a contiguous
+// window.  Charging what the classic scan charges for the same lookups
+// keeps the cross-path energy gap a measure of eliminated
+// materialization, not pricing skew.  Price is a pure function of
+// (column, rows).
+func gatherStoredInts(c *colstore.IntColumn, rows []int32, out []int64) energy.Counters {
+	for i, r := range rows {
+		out[i] = c.Get(int(r))
+	}
+	n := uint64(len(rows))
+	return energy.Counters{CacheMisses: n / 4, Instructions: n * 2}
+}
+
+// ---------------------------------------------------------------------------
+// Planner mirrors
+// ---------------------------------------------------------------------------
+
+// FusedAggEligible reports whether HashAgg{Child: scan, GroupBy, Aggs}
+// would take the fused filter→aggregate path — the planner's pricing
+// mirror of fusedAggPlan.
+func FusedAggEligible(scan *ParallelScan, groupBy []string, aggs []expr.AggSpec) bool {
+	a := &HashAgg{Child: scan, GroupBy: groupBy, Aggs: aggs}
+	return a.fusedAggPlan() != nil
+}
+
+// FusedProbeEligible reports whether a ParallelJoin probing scan on
+// leftKey would fuse its probe feed — the planner's pricing mirror of
+// fusedProbePlan (build-side shape is a runtime decision and not part
+// of the static answer).
+func FusedProbeEligible(scan *ParallelScan, leftKey string) bool {
+	j := &ParallelJoin{Left: scan, LeftKey: leftKey}
+	return j.fusedProbePlan() != nil
+}

@@ -1,0 +1,575 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/energy"
+	"repro/internal/expr"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// Fused-vs-unfused byte-identity matrix (ISSUE 9 acceptance).  The fused
+// operate-on-compressed pipelines must be invisible to results: for every
+// sealed codec (rle/dict/delta/bitpack/raw) and for a live main+delta
+// snapshot (whose tail scans as EncRaw spans), the fused filter→aggregate
+// and filter→probe paths return relations byte-identical to the pinned
+// legacy paths, each path's counters are DOP-invariant, and the fused
+// path touches strictly fewer DRAM bytes on the dense compressed arms.
+// Never wall clock: CI has one CPU, so invariance is what is assertable.
+
+// fusedMatrixTable seals a table whose int columns land in every codec
+// the seal advisor can choose — rle, dict, delta, bitpack, and raw (the
+// wide column's >63-bit range defeats bitpacking) — plus a dictionary
+// string column and a float column.  extra > 0 additionally applies
+// delta inserts at commit timestamps 1..extra and tombstones over main
+// and delta rows, so unsealed EncRaw tail spans join the matrix.
+func fusedMatrixTable(t testing.TB, n, extra int) *colstore.Table {
+	t.Helper()
+	tab := colstore.NewTable("fusedmatrix", colstore.Schema{
+		{Name: "rle", Type: colstore.Int64},
+		{Name: "lowcard", Type: colstore.Int64},
+		{Name: "sorted", Type: colstore.Int64},
+		{Name: "packed", Type: colstore.Int64},
+		{Name: "wide", Type: colstore.Int64},
+		{Name: "region", Type: colstore.String},
+		{Name: "amount", Type: colstore.Float64},
+	})
+	wide := workload.UniformInts(24, n, 1<<20)
+	wide[0], wide[1] = -1<<62, 1<<62 // blows the bitpack width: seals raw
+	rcodes := workload.UniformInts(23, n, int64(len(workload.RegionNames)))
+	regions := make([]string, n)
+	for i, c := range rcodes {
+		regions[i] = workload.RegionNames[c]
+	}
+	amounts := make([]float64, n)
+	for i := range amounts {
+		amounts[i] = float64(i%997) + 0.25
+	}
+	must(t, tab.Writer().Int64("rle", workload.RunsInts(19, n, 16, 64)...).Close())
+	must(t, tab.Writer().Int64("lowcard", workload.UniformInts(20, n, 32)...).Close())
+	must(t, tab.Writer().Int64("sorted", workload.SortedInts(21, n, 8)...).Close())
+	must(t, tab.Writer().Int64("packed", workload.UniformInts(22, n, 1<<20)...).Close())
+	must(t, tab.Writer().Int64("wide", wide...).Close())
+	must(t, tab.Writer().String("region", regions...).Close())
+	must(t, tab.Writer().Float64("amount", amounts...).Close())
+	must(t, tab.Seal())
+
+	// The matrix only holds if the advisor actually chose the codecs the
+	// column names claim; a generator drift would silently hollow the test.
+	for name, want := range map[string]string{
+		"rle": "rle", "lowcard": "dict", "sorted": "delta",
+		"packed": "bitpack", "wide": "raw",
+	} {
+		c, err := tab.IntCol(name)
+		must(t, err)
+		if got := c.Storage().Segments; got[want] == 0 {
+			t.Fatalf("column %q did not seal as %s: segments %v", name, want, got)
+		}
+	}
+
+	lsn := uint64(1)
+	for i := 0; i < extra; i++ {
+		_, err := tab.ApplyInsert(int64(i+1), lsn,
+			int64(i%16), int64(i%32), int64(8*n+i), int64(i%(1<<20)),
+			int64(i), workload.RegionNames[i%len(workload.RegionNames)],
+			float64(i)+0.5)
+		must(t, err)
+		lsn++
+	}
+	if extra > 0 {
+		for i := 0; i < n/37; i++ {
+			must(t, tab.ApplyDelete(1000+int64(i), lsn, tab.RowID(i*37)))
+			lsn++
+		}
+		for i := 0; i < extra/10; i++ {
+			must(t, tab.ApplyDelete(2000+int64(i), lsn, tab.RowID(n+i*10)))
+			lsn++
+		}
+	}
+	return tab
+}
+
+// fusedAggCases is the GROUP BY / aggregate shape matrix: one case per
+// group-key codec (rle, dict, delta via sorted, bitpack via packed, raw
+// via wide, string dict, global), exercising the run-at-a-time closed
+// form (SUM(rle) GROUP BY rle), the code-domain dict sweep, COUNT with
+// and without a column, MIN/MAX, and integer AVG.
+type fusedAggCase struct {
+	name    string
+	sel     []string
+	groupBy []string
+	aggs    []expr.AggSpec
+	preds   []expr.Pred
+}
+
+func fusedAggCases() []fusedAggCase {
+	densePred := []expr.Pred{{Col: "packed", Op: vec.LT, Val: expr.IntVal(1 << 19)}}
+	sparsePred := []expr.Pred{{Col: "packed", Op: vec.LT, Val: expr.IntVal(512)}}
+	return []fusedAggCase{
+		{
+			name:    "rle-group",
+			sel:     []string{"rle", "sorted", "packed"},
+			groupBy: []string{"rle"},
+			aggs: []expr.AggSpec{
+				{Func: expr.AggSum, Col: "rle"}, // closed form: run × value
+				{Func: expr.AggCount},
+				{Func: expr.AggMin, Col: "sorted"},
+				{Func: expr.AggMax, Col: "sorted"},
+			},
+			preds: densePred,
+		},
+		{
+			name:    "dict-group",
+			sel:     []string{"lowcard", "sorted", "packed"},
+			groupBy: []string{"lowcard"},
+			aggs: []expr.AggSpec{
+				{Func: expr.AggSum, Col: "sorted"},
+				{Func: expr.AggAvg, Col: "packed"},
+				{Func: expr.AggCount},
+			},
+			preds: densePred,
+		},
+		{
+			name:    "delta-group",
+			sel:     []string{"sorted", "packed"},
+			groupBy: []string{"sorted"},
+			aggs:    []expr.AggSpec{{Func: expr.AggCount}, {Func: expr.AggMax, Col: "packed"}},
+			preds:   sparsePred, // sparse: the point-read fold path
+		},
+		{
+			name:    "raw-group",
+			sel:     []string{"wide", "rle"},
+			groupBy: []string{"wide"},
+			aggs:    []expr.AggSpec{{Func: expr.AggSum, Col: "rle"}, {Func: expr.AggCount}},
+			preds:   densePred[:0], // no predicate: full-visibility fold
+		},
+		{
+			name:    "string-group",
+			sel:     []string{"region", "packed", "rle"},
+			groupBy: []string{"region"},
+			aggs: []expr.AggSpec{
+				{Func: expr.AggSum, Col: "packed"},
+				{Func: expr.AggCount, Col: "region"},
+			},
+			preds: densePred,
+		},
+		{
+			name: "global",
+			sel:  []string{"rle", "sorted", "packed"},
+			aggs: []expr.AggSpec{
+				{Func: expr.AggSum, Col: "rle"}, // RLE run-at-a-time, no group col
+				{Func: expr.AggMin, Col: "packed"},
+				{Func: expr.AggMax, Col: "sorted"},
+				{Func: expr.AggCount},
+			},
+			preds: densePred,
+		},
+	}
+}
+
+type fusedArm struct {
+	rel *Relation
+	w   energy.Counters
+}
+
+// runAggArm executes one HashAgg-over-ParallelScan plan at the given DOP
+// and snapshot, returning the relation and the full counter snapshot.
+func runAggArm(t *testing.T, tab *colstore.Table, c fusedAggCase, snap int64, dop int, unfused bool) fusedArm {
+	t.Helper()
+	ctx := NewCtx()
+	ctx.SnapTS = snap
+	ctx.Parallelism = dop
+	agg := &HashAgg{
+		Child:   &ParallelScan{Table: tab, Select: c.sel, Preds: c.preds},
+		GroupBy: c.groupBy,
+		Aggs:    c.aggs,
+		Unfused: unfused,
+	}
+	rel, err := agg.Run(ctx)
+	must(t, err)
+	return fusedArm{rel, ctx.Meter.Snapshot()}
+}
+
+// TestFusedAggByteIdentityMatrix is the tentpole acceptance matrix for
+// fused filter→aggregate: every codec × DOP {1,2,8} × sealed-only vs
+// live main+delta snapshots.  Relations are DeepEqual across paths and
+// DOPs, counters are DeepEqual across DOPs within each path, and the
+// fused path reads strictly fewer DRAM bytes on the dense compressed
+// arms (sparse arms point-read either way).
+func TestFusedAggByteIdentityMatrix(t *testing.T) {
+	const n = 300_000
+	tables := []struct {
+		name string
+		tab  *colstore.Table
+		snap int64
+	}{
+		{"sealed", fusedMatrixTable(t, n, 0), colstore.SnapLatest},
+		{"main+delta", fusedMatrixTable(t, n, 300), colstore.SnapLatest},
+		{"main+delta@150", fusedMatrixTable(t, n, 300), 150},
+	}
+	for _, tc := range tables {
+		for _, c := range fusedAggCases() {
+			t.Run(tc.name+"/"+c.name, func(t *testing.T) {
+				scan := &ParallelScan{Table: tc.tab, Select: c.sel, Preds: c.preds}
+				if !FusedAggEligible(scan, c.groupBy, c.aggs) {
+					t.Fatalf("case unexpectedly ineligible for fusion")
+				}
+				unf := runAggArm(t, tc.tab, c, tc.snap, 1, true)
+				fus := runAggArm(t, tc.tab, c, tc.snap, 1, false)
+				if unf.rel.N == 0 {
+					t.Fatal("degenerate case: no output groups")
+				}
+				if !reflect.DeepEqual(fus.rel, unf.rel) {
+					t.Fatalf("fused relation diverged from legacy\n got %+v\nwant %+v", fus.rel, unf.rel)
+				}
+				for _, dop := range []int{2, 8} {
+					if a := runAggArm(t, tc.tab, c, tc.snap, dop, true); !reflect.DeepEqual(a.rel, unf.rel) || a.w != unf.w {
+						t.Fatalf("dop=%d: unfused path not DOP-invariant", dop)
+					}
+					if a := runAggArm(t, tc.tab, c, tc.snap, dop, false); !reflect.DeepEqual(a.rel, unf.rel) || a.w != fus.w {
+						t.Fatalf("dop=%d: fused path not DOP-invariant", dop)
+					}
+				}
+				// Physical bytes must drop on the dense arms where fusion
+				// skips the intermediate.  (Total TuplesIn/TuplesOut are NOT
+				// cross-path comparable: the fused merge stage reports its
+				// partial-group tuples like the legacy parallel agg does,
+				// while the legacy serial agg has no merge.)
+				switch c.name {
+				case "rle-group", "dict-group", "string-group", "global":
+					if fus.w.BytesReadDRAM >= unf.w.BytesReadDRAM {
+						t.Fatalf("fused did not lower DRAM bytes: fused=%d unfused=%d",
+							fus.w.BytesReadDRAM, unf.w.BytesReadDRAM)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFusedAggEligibility pins every fallback edge: each ineligible
+// shape must return a nil fused plan (the legacy path owns it), and the
+// legacy path must still produce the same relation with the fused flag
+// on or off — ineligibility is a plan decision, never a result change.
+func TestFusedAggEligibility(t *testing.T) {
+	tab := fusedMatrixTable(t, 2*colstore.SegSize, 0)
+	scan := func() *ParallelScan {
+		return &ParallelScan{Table: tab, Select: []string{"rle", "region", "amount"}}
+	}
+	count := []expr.AggSpec{{Func: expr.AggCount}}
+	cases := []struct {
+		name string
+		agg  *HashAgg
+		// run: "ok" → legacy path answers; "err" → legacy path owns the
+		// binding error; "skip" → a shape the planner never builds for the
+		// legacy path (only the nil fused plan matters).
+		run string
+	}{
+		{"unfused-flag", &HashAgg{Child: scan(), GroupBy: []string{"rle"}, Aggs: count, Unfused: true}, "ok"},
+		{"multi-group", &HashAgg{Child: scan(), GroupBy: []string{"rle", "region"}, Aggs: count}, "ok"},
+		{"float-group", &HashAgg{Child: scan(), GroupBy: []string{"amount"}, Aggs: count}, "ok"},
+		{"float-agg-input", &HashAgg{Child: scan(), GroupBy: []string{"rle"},
+			Aggs: []expr.AggSpec{{Func: expr.AggSum, Col: "amount"}}}, "ok"},
+		{"serial-scan-child", &HashAgg{Child: &Scan{Table: tab, Select: []string{"rle"}},
+			GroupBy: []string{"rle"}, Aggs: count}, "ok"},
+		{"count-col-not-selected", &HashAgg{Child: scan(), GroupBy: []string{"rle"},
+			Aggs: []expr.AggSpec{{Func: expr.AggCount, Col: "sorted"}}}, "err"},
+		{"code-domain-group", &HashAgg{
+			Child:   &ParallelScan{Table: tab, Select: []string{"region", "rle"}, Codes: []string{"region"}},
+			GroupBy: []string{"region"}, Aggs: count}, "skip"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.agg.fusedAggPlan() != nil {
+				t.Fatal("shape must not be fusion-eligible")
+			}
+			if c.run == "skip" {
+				return
+			}
+			rel, err := c.agg.Run(NewCtx())
+			if c.run == "err" {
+				if err == nil {
+					t.Fatal("legacy path must report the binding error")
+				}
+				return
+			}
+			must(t, err)
+			if rel.N == 0 {
+				t.Fatal("legacy path returned no groups")
+			}
+		})
+	}
+	// The float-input plan stays legacy but must still answer: SUM(amount)
+	// grouped by rle is identical with the Unfused pin on and off.
+	mk := func(unfused bool) *Relation {
+		ctx := NewCtx()
+		rel, err := (&HashAgg{Child: scan(), GroupBy: []string{"rle"},
+			Aggs:    []expr.AggSpec{{Func: expr.AggSum, Col: "amount"}},
+			Unfused: unfused}).Run(ctx)
+		must(t, err)
+		return rel
+	}
+	if !reflect.DeepEqual(mk(false), mk(true)) {
+		t.Fatal("ineligible plan changed results under the fused flag")
+	}
+}
+
+// TestAggGroupKeyNoNULCollision is the satellite-1 regression: the
+// legacy aggTable keys are length-prefixed per part, so multi-column
+// group values containing NUL bytes cannot collide.  ("a\x00","b") and
+// ("a","\x00b") concatenate identically under the old bare-separator
+// encoding and must land in two distinct groups.
+func TestAggGroupKeyNoNULCollision(t *testing.T) {
+	in := &Relation{N: 2, Cols: []Col{
+		{Name: "g1", Type: colstore.String, S: []string{"a\x00", "a"}},
+		{Name: "g2", Type: colstore.String, S: []string{"b", "\x00b"}},
+	}}
+	rel, err := (&HashAgg{
+		Child:   &relSource{rel: in},
+		GroupBy: []string{"g1", "g2"},
+		Aggs:    []expr.AggSpec{{Func: expr.AggCount}},
+	}).Run(NewCtx())
+	must(t, err)
+	if rel.N != 2 {
+		t.Fatalf("NUL-bearing group keys collided: got %d groups, want 2", rel.N)
+	}
+	cnt, err := rel.Col("count")
+	must(t, err)
+	for i := 0; i < rel.N; i++ {
+		if cnt.I[i] != 1 {
+			t.Fatalf("group %d count = %d, want 1", i, cnt.I[i])
+		}
+	}
+}
+
+// fusedDimTable seals a small build-side table: one region string column
+// (its sorted dictionary is a different backing slice than the fact
+// table's, forcing the build-code translation) and an int weight.
+func fusedDimTable(t testing.TB) *colstore.Table {
+	t.Helper()
+	tab := colstore.NewTable("dim", colstore.Schema{
+		{Name: "region", Type: colstore.String},
+		{Name: "weight", Type: colstore.Int64},
+	})
+	nr := len(workload.RegionNames)
+	var regions []string
+	var weights []int64
+	// Two rows per region: duplicate build keys exercise match chains.
+	for i := 0; i < 2*nr; i++ {
+		regions = append(regions, workload.RegionNames[i%nr])
+		weights = append(weights, int64(i)*10)
+	}
+	must(t, tab.Writer().String("region", regions...).Close())
+	must(t, tab.Writer().Int64("weight", weights...).Close())
+	must(t, tab.Seal())
+	return tab
+}
+
+// intDimSource is a build-side relation over int keys 0..47 (two rows
+// per key < 16, so low "lowcard" codes fan out to two matches, and keys
+// 32..47 match nothing).
+func intDimSource() *relSource {
+	var keys []int64
+	var weights []int64
+	for i := 0; i < 64; i++ {
+		keys = append(keys, int64(i%48))
+		weights = append(weights, int64(i)*7)
+	}
+	return &relSource{rel: &Relation{N: len(keys), Cols: []Col{
+		{Name: "k", Type: colstore.Int64, I: keys},
+		{Name: "weight", Type: colstore.Int64, I: weights},
+	}}}
+}
+
+type fusedJoinCase struct {
+	name     string
+	sel      []string
+	codes    []string
+	leftKey  string
+	right    func(t *testing.T) Node
+	rightKey string
+	preds    []expr.Pred
+}
+
+func fusedJoinCases() []fusedJoinCase {
+	densePred := []expr.Pred{{Col: "packed", Op: vec.LT, Val: expr.IntVal(1 << 19)}}
+	sparsePred := []expr.Pred{{Col: "packed", Op: vec.LT, Val: expr.IntVal(512)}}
+	return []fusedJoinCase{
+		{
+			name:     "int-key",
+			sel:      []string{"lowcard", "packed", "region"},
+			leftKey:  "lowcard",
+			right:    func(*testing.T) Node { return intDimSource() },
+			rightKey: "k",
+			preds:    densePred,
+		},
+		{
+			name:    "string-key-translate",
+			sel:     []string{"region", "rle", "packed"},
+			codes:   []string{"region"},
+			leftKey: "region",
+			right: func(t *testing.T) Node {
+				return &Scan{Table: fusedDimTable(t), Codes: []string{"region"}}
+			},
+			rightKey: "region",
+			preds:    densePred,
+		},
+		{
+			name:     "int-key-sparse",
+			sel:      []string{"lowcard", "sorted"},
+			leftKey:  "lowcard",
+			right:    func(*testing.T) Node { return intDimSource() },
+			rightKey: "k",
+			preds:    sparsePred, // legacy goes serial post-filter; fused still runs
+		},
+	}
+}
+
+// runJoinArm executes one ParallelJoin with a ParallelScan probe side.
+func runJoinArm(t *testing.T, tab *colstore.Table, c fusedJoinCase, snap int64, dop int, unfused bool) fusedArm {
+	t.Helper()
+	ctx := NewCtx()
+	ctx.SnapTS = snap
+	ctx.Parallelism = dop
+	j := &ParallelJoin{
+		Left:     &ParallelScan{Table: tab, Select: c.sel, Preds: c.preds, Codes: c.codes},
+		Right:    c.right(t),
+		LeftKey:  c.leftKey,
+		RightKey: c.rightKey,
+		Unfused:  unfused,
+	}
+	rel, err := j.Run(ctx)
+	must(t, err)
+	return fusedArm{rel, ctx.Meter.Snapshot()}
+}
+
+// TestFusedProbeByteIdentityMatrix: fused filter→probe returns relations
+// byte-identical to the legacy materialize-then-join paths — including
+// the build-code translation through the probe column's global dictionary
+// and the serial fallback the legacy path takes on sparse filters — with
+// DOP-invariant counters per path and strictly fewer DRAM bytes on the
+// dense arms.
+func TestFusedProbeByteIdentityMatrix(t *testing.T) {
+	const n = 200_000
+	tables := []struct {
+		name string
+		tab  *colstore.Table
+		snap int64
+	}{
+		{"sealed", fusedMatrixTable(t, n, 0), colstore.SnapLatest},
+		{"main+delta", fusedMatrixTable(t, n, 300), colstore.SnapLatest},
+	}
+	for _, tc := range tables {
+		for _, c := range fusedJoinCases() {
+			t.Run(tc.name+"/"+c.name, func(t *testing.T) {
+				scan := &ParallelScan{Table: tc.tab, Select: c.sel, Preds: c.preds, Codes: c.codes}
+				if !FusedProbeEligible(scan, c.leftKey) {
+					t.Fatalf("case unexpectedly ineligible for probe fusion")
+				}
+				unf := runJoinArm(t, tc.tab, c, tc.snap, 1, true)
+				fus := runJoinArm(t, tc.tab, c, tc.snap, 1, false)
+				if unf.rel.N == 0 {
+					t.Fatal("degenerate case: join produced no rows")
+				}
+				if !reflect.DeepEqual(fus.rel, unf.rel) {
+					t.Fatalf("fused join relation diverged from legacy (N fused=%d unfused=%d)",
+						fus.rel.N, unf.rel.N)
+				}
+				for _, dop := range []int{2, 8} {
+					if a := runJoinArm(t, tc.tab, c, tc.snap, dop, true); !reflect.DeepEqual(a.rel, unf.rel) || a.w != unf.w {
+						t.Fatalf("dop=%d: unfused join not DOP-invariant", dop)
+					}
+					if a := runJoinArm(t, tc.tab, c, tc.snap, dop, false); !reflect.DeepEqual(a.rel, unf.rel) || a.w != fus.w {
+						t.Fatalf("dop=%d: fused join not DOP-invariant", dop)
+					}
+				}
+				if c.name != "int-key-sparse" && fus.w.BytesReadDRAM >= unf.w.BytesReadDRAM {
+					t.Fatalf("fused probe did not lower DRAM bytes: fused=%d unfused=%d",
+						fus.w.BytesReadDRAM, unf.w.BytesReadDRAM)
+				}
+			})
+		}
+	}
+}
+
+// TestFusedProbeEligibilityAndBypass pins the plan-time nil edges and the
+// runtime bypasses: tiny inputs and raw build-side strings must fall back
+// to the classic paths and still answer identically under the fused flag.
+func TestFusedProbeEligibilityAndBypass(t *testing.T) {
+	tab := fusedMatrixTable(t, 2*colstore.SegSize, 0)
+	mkScan := func(sel []string, codes []string) *ParallelScan {
+		return &ParallelScan{Table: tab, Select: sel, Codes: codes}
+	}
+	nilPlans := []struct {
+		name string
+		j    *ParallelJoin
+	}{
+		{"unfused-flag", &ParallelJoin{Left: mkScan([]string{"lowcard"}, nil),
+			LeftKey: "lowcard", Unfused: true}},
+		{"float-key", &ParallelJoin{Left: mkScan([]string{"amount"}, nil), LeftKey: "amount"}},
+		{"raw-string-key", &ParallelJoin{Left: mkScan([]string{"region"}, nil), LeftKey: "region"}},
+		{"key-not-selected", &ParallelJoin{Left: mkScan([]string{"rle"}, nil), LeftKey: "lowcard"}},
+		{"non-scan-child", &ParallelJoin{Left: intDimSource(), LeftKey: "k"}},
+	}
+	for _, c := range nilPlans {
+		if c.j.fusedProbePlan() != nil {
+			t.Fatalf("%s: shape must not be probe-fusion-eligible", c.name)
+		}
+	}
+
+	// Runtime bypass 1: inputs below ParallelJoinFallbackRows — the fused
+	// plan exists but defers to the classic serial join.
+	tiny := fusedMatrixTable(t, 4096, 0)
+	runTiny := func(unfused bool) *Relation {
+		rel, err := (&ParallelJoin{
+			Left:    &ParallelScan{Table: tiny, Select: []string{"lowcard", "sorted"}},
+			Right:   intDimSource(),
+			LeftKey: "lowcard", RightKey: "k",
+			Unfused: unfused,
+		}).Run(NewCtx())
+		must(t, err)
+		return rel
+	}
+	if !reflect.DeepEqual(runTiny(false), runTiny(true)) {
+		t.Fatal("tiny-input bypass changed the join result")
+	}
+
+	// Runtime bypass 2: dict-coded probe keys against a raw-string build
+	// side (Dict == nil) — the serial string join owns the mixed pair.
+	rawDim := &relSource{rel: &Relation{N: len(workload.RegionNames), Cols: []Col{
+		{Name: "region", Type: colstore.String, S: append([]string(nil), workload.RegionNames[:]...)},
+		{Name: "weight", Type: colstore.Int64, I: make([]int64, len(workload.RegionNames))},
+	}}}
+	runRaw := func(unfused bool) *Relation {
+		rel, err := (&ParallelJoin{
+			Left:    &ParallelScan{Table: tab, Select: []string{"region", "rle"}, Codes: []string{"region"}},
+			Right:   rawDim,
+			LeftKey: "region", RightKey: "region",
+			Unfused: unfused,
+		}).Run(NewCtx())
+		must(t, err)
+		return rel
+	}
+	if !reflect.DeepEqual(runRaw(false), runRaw(true)) {
+		t.Fatal("raw-build-string bypass changed the join result")
+	}
+
+	// Error parity: a fused-eligible probe against a mismatched build key
+	// type reports the same error as the legacy path.
+	mismatch := func(unfused bool) error {
+		_, err := (&ParallelJoin{
+			Left:    &ParallelScan{Table: tab, Select: []string{"lowcard"}},
+			Right:   &Scan{Table: fusedDimTable(t)},
+			LeftKey: "lowcard", RightKey: "region",
+			Unfused: unfused,
+		}).Run(NewCtx())
+		return err
+	}
+	ef, eu := mismatch(false), mismatch(true)
+	if ef == nil || eu == nil || ef.Error() != eu.Error() {
+		t.Fatalf("type-mismatch error parity broken: fused=%v unfused=%v", ef, eu)
+	}
+}

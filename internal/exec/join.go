@@ -156,9 +156,19 @@ func codeDomainKeys(lk, rk *Col) (lkeys, rkeys []int64, translated bool, w energ
 	if sameDict(lk.Dict, rk.Dict) {
 		return lk.I, rk.I, false, energy.Counters{}
 	}
-	probe := make(map[string]int64, len(lk.Dict))
+	rkeys, translated, w = translateBuildCodes(lk.Dict, rk)
+	return lk.I, rkeys, translated, w
+}
+
+// translateBuildCodes rewrites the build key column's codes into the
+// probe side's code domain (probeDict), marking untranslatable values
+// with noCode.  Shared by codeDomainKeys and the fused probe, which
+// translates through the scan column's global dictionary without ever
+// materializing a probe-side relation.
+func translateBuildCodes(probeDict []string, rk *Col) (rkeys []int64, translated bool, w energy.Counters) {
+	probe := make(map[string]int64, len(probeDict))
 	var dictBytes uint64
-	for code, s := range lk.Dict {
+	for code, s := range probeDict {
 		probe[s] = int64(code)
 		dictBytes += uint64(len(s))
 	}
@@ -177,10 +187,10 @@ func codeDomainKeys(lk, rk *Col) (lkeys, rkeys []int64, translated bool, w energ
 	}
 	w = energy.Counters{
 		BytesReadDRAM: dictBytes,
-		CacheMisses:   uint64(len(lk.Dict)+len(rk.Dict)) / 2,
-		Instructions:  uint64(len(lk.Dict)+len(rk.Dict))*8 + uint64(len(rk.I)),
+		CacheMisses:   uint64(len(probeDict)+len(rk.Dict)) / 2,
+		Instructions:  uint64(len(probeDict)+len(rk.Dict))*8 + uint64(len(rk.I)),
 	}
-	return lk.I, rkeys, true, w
+	return rkeys, true, w
 }
 
 // sameDict reports whether two dictionaries are the same backing slice.

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"encoding/binary"
 	"reflect"
 	"testing"
 
@@ -172,7 +173,7 @@ func TestParallelAggMatchesSerialGroups(t *testing.T) {
 	los, _ := got.Col("lo")
 	his, _ := got.Col("hi")
 	for i := 0; i < got.N; i++ {
-		key := regions.S[i] + "\x00"
+		key := string(binary.AppendUvarint(nil, uint64(len(regions.S[i])))) + regions.S[i]
 		ref, ok := want[key]
 		if !ok {
 			t.Fatalf("unexpected group %q", regions.S[i])

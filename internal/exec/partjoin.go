@@ -69,6 +69,10 @@ const maxRadixBits = 10
 type ParallelJoin struct {
 	Left, Right       Node
 	LeftKey, RightKey string
+	// Unfused pins the legacy materialize-then-probe path even when the
+	// probe side is a fusable ParallelScan — the control arm of the E24
+	// experiment and of the fused-vs-unfused byte-identity tests.
+	Unfused bool
 }
 
 // Label implements Node.
@@ -81,13 +85,35 @@ func (j *ParallelJoin) Kids() []Node { return []Node{j.Left, j.Right} }
 
 // Run implements Node.
 func (j *ParallelJoin) Run(ctx *Ctx) (*Relation, error) {
-	left, err := j.Left.Run(ctx)
-	if err != nil {
-		return nil, err
+	// Fused filter→probe path (fused.go): when the probe side is a
+	// fusable ParallelScan, selected probe keys stream straight from the
+	// compressed segments morsel by morsel and the intermediate probe
+	// Relation is never built.
+	fp := j.fusedProbePlan()
+	var left *Relation
+	var err error
+	if fp == nil {
+		left, err = j.Left.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
 	}
 	right, err := j.Right.Run(ctx)
 	if err != nil {
 		return nil, err
+	}
+	if fp != nil {
+		out, fused, err := j.runFusedProbe(ctx, fp, right)
+		if fused {
+			return out, err
+		}
+		// Runtime bypass (tiny inputs, raw build-side strings): those
+		// cases belong to the serial core, which needs the probe side
+		// materialized after all.
+		left, err = j.Left.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
 	}
 	lk, rk, err := joinKeys(left, right, j.LeftKey, j.RightKey)
 	if err != nil {
@@ -136,11 +162,15 @@ type partChunk struct {
 	rows []int32
 }
 
-// pairChunk is one probe morsel's matches, in probe-row order.
+// pairChunk is one probe morsel's matches, in probe-row order.  The
+// fused probe additionally carries each match's probe key in k (codes
+// for string keys), so the output key column never touches the key
+// segments a second time; the classic probe leaves k nil.
 //
 //lint:hotpath
 type pairChunk struct {
 	l, r []int32
+	k    []int64
 }
 
 // joinTable is a compact open-addressing hash table over one partition:

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one runnable
-// module per experiment in EXPERIMENTS.md (E1–E23), each printing the
+// module per experiment in EXPERIMENTS.md (E1–E24), each printing the
 // table or series the paper's claim corresponds to.  cmd/eimdb-bench is
 // the CLI front end; the root bench_test.go exercises the same modules
 // under testing.B.

@@ -11,8 +11,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 23 {
-		t.Fatalf("expected 23 experiments (E1-E14 + extensions E15-E23), have %d", len(all))
+	if len(all) != 24 {
+		t.Fatalf("expected 24 experiments (E1-E14 + extensions E15-E24), have %d", len(all))
 	}
 	for i, e := range all {
 		if want := fmt.Sprintf("E%d", i+1); e.ID != want {
@@ -522,6 +522,43 @@ func TestE23Shape(t *testing.T) {
 			t.Errorf("dop %d: merge did not lower probe bytes: pre=%d post=%d",
 				r.DOP, r.PreBytes, r.PostBytes)
 		}
+	}
+}
+
+func TestE24Shape(t *testing.T) {
+	// E24Sweep itself enforces the hard invariants: within each path,
+	// relations and counters identical at every DOP; across paths,
+	// byte-identical relations; fused strictly fewer DRAM bytes and less
+	// energy on every arm.  300k rows clears the planner's ParallelScan
+	// threshold so the planner check below exercises the real decision.
+	rows, err := E24Sweep(300_000, []int{1, 2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty sweep")
+	}
+	for _, r := range rows {
+		if r.Rows == 0 {
+			t.Errorf("%s %s DOP %d produced no rows", r.Arm, r.Path, r.DOP)
+		}
+		if r.Bytes == 0 || r.J == 0 {
+			t.Errorf("%s %s DOP %d charged no movement/energy", r.Arm, r.Path, r.DOP)
+		}
+	}
+	// The optimizer must recognize (and price) both fusions it plans.
+	aggInfo, joinInfo, err := E24PlannerDecisions(300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aggInfo.FusedAgg {
+		t.Errorf("planner did not mark the aggregate plan fused: %+v", aggInfo)
+	}
+	if len(joinInfo.Joins) != 1 || !joinInfo.Joins[0].FusedProbe {
+		t.Errorf("planner did not mark the join probe fused: %+v", joinInfo.Joins)
+	}
+	if len(joinInfo.FusedProbes) != 1 || joinInfo.FusedProbes[0] != "events" {
+		t.Errorf("FusedProbes must name the probe table: %v", joinInfo.FusedProbes)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -23,7 +24,10 @@ const hotpathMarker = "lint:hotpath"
 // structs use open-addressing flat arrays instead.
 //
 // To keep the contract from silently vanishing, every executor package
-// (Config.ExecPkgs) must contain at least one marked struct.
+// (Config.ExecPkgs) must contain at least one marked struct, and every
+// struct name listed in Config.HotStructs must exist with its marker —
+// deleting a fused/join kernel's marker without updating the config is
+// a lint error, not a silent contract loss.
 func AnalyzerHotPath() Analyzer {
 	return Analyzer{
 		Name: HotPathCheck,
@@ -34,7 +38,7 @@ func AnalyzerHotPath() Analyzer {
 
 func runHotPath(u *Unit) []Diag {
 	var out []Diag
-	marked := make(map[string]int) // import path -> marked struct count
+	marked := make(map[string]map[string]bool) // import path -> marked struct names
 	walkFiles(u, func(p *Package) bool { return !p.TestVariant }, func(p *Package, f *ast.File) {
 		for _, decl := range f.Decls {
 			gd, ok := decl.(*ast.GenDecl)
@@ -53,7 +57,10 @@ func runHotPath(u *Unit) []Diag {
 				if !hasMarker(doc) {
 					continue
 				}
-				marked[p.ImportPath]++
+				if marked[p.ImportPath] == nil {
+					marked[p.ImportPath] = make(map[string]bool)
+				}
+				marked[p.ImportPath][ts.Name.Name] = true
 				obj := p.Info.Defs[ts.Name]
 				if obj == nil {
 					continue
@@ -83,13 +90,35 @@ func runHotPath(u *Unit) []Diag {
 		if p == nil {
 			continue
 		}
-		if marked[path] == 0 {
+		if len(marked[path]) == 0 {
 			out = append(out, Diag{
 				Pos:   u.Fset.Position(p.Files[0].Package),
 				Check: HotPathCheck,
 				Msg: fmt.Sprintf("package %s has no //lint:hotpath-marked struct; "+
 					"the flat-array contract on the join hot structs must stay machine-checked", path),
 			})
+		}
+	}
+	// Must-exist roster: every named hot struct still carries its marker.
+	paths := make([]string, 0, len(u.Config.HotStructs))
+	for path := range u.Config.HotStructs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		p := u.Pkg(path)
+		if p == nil {
+			continue
+		}
+		for _, name := range u.Config.HotStructs[path] {
+			if !marked[path][name] {
+				out = append(out, Diag{
+					Pos:   u.Fset.Position(p.Files[0].Package),
+					Check: HotPathCheck,
+					Msg: fmt.Sprintf("required hot-path struct %s.%s is missing its //lint:hotpath marker "+
+						"(renamed, deleted, or unmarked); update lint.Config.HotStructs only with an intentional contract change", path, name),
+				})
+			}
 		}
 	}
 	return out

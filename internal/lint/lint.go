@@ -71,6 +71,12 @@ type Config struct {
 	// PoolFuncs are the only functions in ExecPkgs allowed to contain
 	// `go` statements.
 	PoolFuncs []string
+	// HotStructs lists, per package, struct names that MUST carry the
+	// //lint:hotpath marker: the fused/join kernel structs whose
+	// flat-array (map-free) invariant the energy pricing depends on.
+	// Unmarking, renaming, or deleting one without updating this roster
+	// is a lint error, never a silent contract loss.
+	HotStructs map[string][]string
 	// EnergyPkg is the package defining Counters/Meter/FleetMeter; it
 	// alone may write counter fields through stored structures.
 	EnergyPkg string
@@ -101,8 +107,11 @@ func DefaultConfig() Config {
 			"repro/internal/colstore",
 			"repro/internal/wal",
 		},
-		ExecPkgs:    []string{"repro/internal/exec"},
-		PoolFuncs:   []string{"runPool", "runMorsels"},
+		ExecPkgs:  []string{"repro/internal/exec"},
+		PoolFuncs: []string{"runPool", "runMorsels"},
+		HotStructs: map[string][]string{
+			"repro/internal/exec": {"partChunk", "pairChunk", "joinTable", "fusedAggTable"},
+		},
 		EnergyPkg:   "repro/internal/energy",
 		RegistryPkg: "repro/internal/experiments",
 		RootPkg:     "repro",

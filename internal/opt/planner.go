@@ -83,11 +83,15 @@ type JoinPlanInfo struct {
 	LeftKey, RightKey string
 	Partitioned       bool
 	CodeDomain        bool
-	EstProbeRows      float64
-	EstBuildRows      float64
-	EstOutRows        float64
-	PartitionBytes    uint64 // estimated bytes moved by the radix scatter
-	ProbeBytes        uint64 // estimated bytes streamed by the probe pass
+	// FusedProbe reports that the probe feed fuses into the probe-side
+	// scan: selected keys stream straight from the compressed segments
+	// and the intermediate probe relation is never materialized.
+	FusedProbe     bool
+	EstProbeRows   float64
+	EstBuildRows   float64
+	EstOutRows     float64
+	PartitionBytes uint64 // estimated bytes moved by the radix scatter
+	ProbeBytes     uint64 // estimated bytes streamed by the probe pass
 }
 
 // PlanInfo reports what the planner decided.
@@ -103,6 +107,14 @@ type PlanInfo struct {
 	// Joins lists every join in execution order with its side, operator,
 	// and byte-estimate decisions.
 	Joins []JoinPlanInfo
+	// FusedAgg reports that the aggregation runs the fused
+	// filter→aggregate kernel over its child scan (exec/fused.go), never
+	// materializing the filtered intermediate; FusedProbes lists the
+	// probe-side tables whose join probe feed fuses likewise.  Both are
+	// answered by the executor's own eligibility checks, and the fused-away
+	// materialization is credited out of Est.
+	FusedAgg    bool
+	FusedProbes []string
 	// JoinOrder is the table order the join-ordering pass chose (empty
 	// when the query has fewer than two joins or the pass was skipped);
 	// JoinOrderExact reports whether the exact DP solved it, as opposed
@@ -317,7 +329,25 @@ func (c *Catalog) Plan(q *Query, cm *CostModel, obj Objective) (exec.Node, *Plan
 		// integer keys or dictionary codes; raw string keys would take
 		// its serial fallback anyway, so they plan (and are priced) as
 		// the serial join.
-		sizeOK := d.probeRows+d.buildRows >= ParallelJoinRows
+		// A fusable probe-side scan never materializes its filtered
+		// intermediate: the fused feed streams the whole base table, so
+		// the partitioned-vs-serial choice sizes on the scan's full
+		// cardinality, mirroring the executor's pre-filter fallback
+		// check.  The probe side is a bare scan on the first join, or on
+		// any join whose sides swapped.
+		probeSize := d.probeRows
+		probeOwner := ""
+		if d.swap {
+			probeOwner = pj.table
+		} else if len(decisions) == 0 {
+			probeOwner = first
+		}
+		if probeOwner != "" {
+			if ts, err := c.Stats(probeOwner); err == nil && float64(ts.Rows) >= ParallelScanRows && float64(ts.Rows) > probeSize {
+				probeSize = float64(ts.Rows)
+			}
+		}
+		sizeOK := probeSize+d.buildRows >= ParallelJoinRows
 		lo := c.keyOwner(pj.leftCol, tables)
 		if sizeOK &&
 			c.orderedStringCol(lo, pj.leftCol) &&
@@ -375,6 +405,15 @@ func (c *Catalog) Plan(q *Query, cm *CostModel, obj Objective) (exec.Node, *Plan
 		}
 		if d.partitioned {
 			ji.PartitionBytes = uint64(d.buildRows * (8 + 12))
+			// Fused probe feed: the probe-side scan never materializes its
+			// relation, so its estimate sheds the materialization terms.
+			if ps, ok := probe.(*exec.ParallelScan); ok && exec.FusedProbeEligible(ps, lk) {
+				ji.FusedProbe = true
+				info.FusedProbes = append(info.FusedProbes, probeName)
+				if ts, err := c.Stats(probeName); err == nil {
+					info.creditFusion(cm, EstimateFusionSavings(ts, predsOf[probeName], len(needed[probeName])))
+				}
+			}
 		}
 		info.Joins = append(info.Joins, ji)
 	}
@@ -397,6 +436,14 @@ func (c *Catalog) Plan(q *Query, cm *CostModel, obj Objective) (exec.Node, *Plan
 		for _, s := range q.Select {
 			if s.Agg != expr.AggNone {
 				aggs = append(aggs, expr.AggSpec{Func: s.Agg, Col: s.Col, As: s.Name()})
+			}
+		}
+		// Fused filter→aggregate: the scan's filtered relation is never
+		// materialized, so the estimate sheds its materialization terms.
+		if ps, ok := root.(*exec.ParallelScan); ok && exec.FusedAggEligible(ps, q.GroupBy, aggs) {
+			info.FusedAgg = true
+			if ts, err := c.Stats(q.From); err == nil {
+				info.creditFusion(cm, EstimateFusionSavings(ts, predsOf[q.From], len(needed[q.From])))
 			}
 		}
 		root = &exec.HashAgg{Child: root, GroupBy: q.GroupBy, Aggs: aggs}

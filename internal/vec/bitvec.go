@@ -92,6 +92,32 @@ func (b *Bitvec) Count() int {
 	return c
 }
 
+// CountRange returns the number of set bits in [lo, hi), word-at-a-time —
+// the popcount behind run-at-a-time fused aggregation: a selected RLE run
+// contributes its selection count without expanding a single row.
+func (b *Bitvec) CountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	lw, hw := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - uint(hi-1)&63)
+	if lw == hw {
+		return bits.OnesCount64(b.words[lw] & loMask & hiMask)
+	}
+	c := bits.OnesCount64(b.words[lw] & loMask)
+	for w := lw + 1; w < hw; w++ {
+		c += bits.OnesCount64(b.words[w])
+	}
+	return c + bits.OnesCount64(b.words[hw]&hiMask)
+}
+
 // And intersects o into b (lengths must match).
 func (b *Bitvec) And(o *Bitvec) {
 	checkLen(b, o)
@@ -148,6 +174,37 @@ func (b *Bitvec) Indices() []int32 {
 // ForEach calls fn for every set bit in ascending order.
 func (b *Bitvec) ForEach(fn func(i int)) {
 	for wi, w := range b.words {
+		base := wi << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// ForEachRange calls fn for every set bit in [lo, hi) in ascending order,
+// touching only the words the range overlaps.
+func (b *Bitvec) ForEachRange(lo, hi int, fn func(i int)) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	if lo >= hi {
+		return
+	}
+	lw, hw := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - uint(hi-1)&63)
+	for wi := lw; wi <= hw; wi++ {
+		w := b.words[wi]
+		if wi == lw {
+			w &= loMask
+		}
+		if wi == hw {
+			w &= hiMask
+		}
 		base := wi << 6
 		for w != 0 {
 			fn(base + bits.TrailingZeros64(w))
