@@ -497,6 +497,34 @@ func BenchmarkE24FusedPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkE25ShardedScan runs the E25 value-range-sharding sweep:
+// skewed point probe over the flat layout and over 1/4/16 shards (byte
+// identity enforced inside the sweep), then the scheduler-admitted
+// min-energy background rebalance under a write burst.
+// bytes-touched/op and J/op report the finest cut's probe — what zone
+// pruning plus narrower per-shard packing buy over the flat scan — and
+// rebalance-J the rebalance ticket's billed energy.  All three are
+// deterministic simulated-model metrics, so the CI bench gate diffs
+// them against the committed baseline; wall times on the 1-CPU runner
+// measure the code path, never parallel speedup.
+func BenchmarkE25ShardedScan(b *testing.B) {
+	var res *experiments.E25Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.E25Sweep(1<<18, []int{1, 4, 16}, []int{2})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(res.Rows) == 0 || !res.RebalanceDeferred {
+		b.Fatalf("rebalance did not defer to foreground traffic: %+v", res)
+	}
+	r := res.Rows[len(res.Rows)-1]
+	b.ReportMetric(float64(r.BytesTouched), "bytes-touched/op")
+	b.ReportMetric(float64(r.J), "J/op")
+	b.ReportMetric(float64(res.RebalanceJ), "rebalance-J")
+}
+
 // BenchmarkScheduler measures the discrete-event scheduler core (the
 // substrate under E1/E5).
 func BenchmarkScheduler(b *testing.B) {

@@ -20,6 +20,13 @@
 // when the benchmark sets diverge.  Improvements past the tolerance
 // only warn: they mean the committed baseline is stale, not that the
 // build is broken.
+//
+// Under GitHub Actions (or with -annotate), every gate failure also
+// prints a ::error workflow command and every stale-baseline
+// improvement a ::warning, both carrying file=<baseline> and the
+// benchmark/metric in the title — so regressions surface as inline
+// annotations on the Actions summary instead of only inside a scrolled
+// step log.
 package main
 
 import (
@@ -59,6 +66,8 @@ func main() {
 	metrics := flag.String("metrics", "J/op,bytes-touched/op",
 		"comma-separated deterministic metrics to gate (wall-clock metrics are never judged)")
 	reportPath := flag.String("report", "", "file to write the diff report to (always printed on failure)")
+	annotateFlag := flag.Bool("annotate", os.Getenv("GITHUB_ACTIONS") == "true",
+		"emit GitHub Actions ::error/::warning workflow commands for gate findings (default: on under GITHUB_ACTIONS)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -94,7 +103,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	report, failed := diff(base, file, splitMetrics(*metrics), *tol)
+	report, findings, failed := diff(base, file, splitMetrics(*metrics), *tol)
 	if *reportPath != "" {
 		if err := os.WriteFile(*reportPath, []byte(report), 0o644); err != nil {
 			fatal(err)
@@ -103,10 +112,63 @@ func main() {
 	// stderr, not stdout: with -out omitted, stdout is the JSON stream
 	// and appending the report there would corrupt a piped consumer.
 	fmt.Fprint(os.Stderr, report)
+	if *annotateFlag {
+		// The runner recognizes workflow commands on either stream; use
+		// stdout when it is free, stderr when it carries the JSON.
+		dst := os.Stdout
+		if *out == "" {
+			dst = os.Stderr
+		}
+		annotate(dst, findings, *baseline)
+	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "benchjson: deterministic metrics regressed against", *baseline)
 		os.Exit(1)
 	}
+}
+
+// Finding is one gate outcome worth surfacing outside the text report: a
+// regression or structural failure (Kind "error") or a past-tolerance
+// improvement that means the committed baseline is stale (Kind
+// "warning").
+type Finding struct {
+	Kind   string // "error" | "warning"
+	Bench  string
+	Metric string // empty for structural findings (whole benchmark)
+	Msg    string
+}
+
+// annotate renders findings as GitHub Actions workflow commands.  The
+// file property points at the committed baseline — the file a reviewer
+// regenerates to acknowledge an intended shift — and the title names the
+// benchmark and metric so the annotation reads standalone on the run
+// summary.
+func annotate(w io.Writer, findings []Finding, baseline string) {
+	for _, f := range findings {
+		title := "bench gate: " + f.Bench
+		if f.Metric != "" {
+			title += " " + f.Metric
+		}
+		fmt.Fprintf(w, "::%s file=%s,title=%s::%s\n",
+			f.Kind, ghProp(baseline), ghProp(title), ghData(f.Msg))
+	}
+}
+
+// ghData escapes a workflow-command data payload (%, CR, LF).
+func ghData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// ghProp escapes a workflow-command property value (data escapes plus
+// the property delimiters).
+func ghProp(s string) string {
+	s = ghData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
 }
 
 // load reads a committed trajectory file.
@@ -136,10 +198,22 @@ func splitMetrics(s string) []string {
 // must match exactly (a silently dropped or renamed benchmark is a hole
 // in the trajectory), and every gated metric present in the baseline
 // must be present now and within tol relatively.  Regressions fail;
-// improvements past tol only flag the baseline as stale.
-func diff(base, cur *File, gated []string, tol float64) (string, bool) {
+// improvements past tol only flag the baseline as stale.  Every FAIL
+// line and every stale-baseline note also becomes a Finding, the feed
+// for the GitHub Actions annotations.
+func diff(base, cur *File, gated []string, tol float64) (string, []Finding, bool) {
 	var b strings.Builder
+	var findings []Finding
 	failed := false
+	fail := func(bench, metric, msg string) {
+		if metric != "" {
+			fmt.Fprintf(&b, "FAIL %s %s: %s\n", bench, metric, msg)
+		} else {
+			fmt.Fprintf(&b, "FAIL %s: %s\n", bench, msg)
+		}
+		findings = append(findings, Finding{Kind: "error", Bench: bench, Metric: metric, Msg: msg})
+		failed = true
+	}
 	curBy := make(map[string]Bench, len(cur.Benchmarks))
 	for _, bench := range cur.Benchmarks {
 		curBy[bench.Name] = bench
@@ -152,14 +226,12 @@ func diff(base, cur *File, gated []string, tol float64) (string, bool) {
 		len(base.Benchmarks), len(cur.Benchmarks), tol*100, strings.Join(gated, " "))
 	for _, bench := range base.Benchmarks {
 		if _, ok := curBy[bench.Name]; !ok {
-			fmt.Fprintf(&b, "FAIL %s: benchmark missing from this run\n", bench.Name)
-			failed = true
+			fail(bench.Name, "", "benchmark missing from this run")
 		}
 	}
 	for _, bench := range cur.Benchmarks {
 		if _, ok := baseBy[bench.Name]; !ok {
-			fmt.Fprintf(&b, "FAIL %s: benchmark not in baseline (refresh the committed file)\n", bench.Name)
-			failed = true
+			fail(bench.Name, "", "benchmark not in baseline (refresh the committed file)")
 		}
 	}
 	for _, bench := range base.Benchmarks {
@@ -176,24 +248,21 @@ func diff(base, cur *File, gated []string, tol float64) (string, bool) {
 				// the hole rather than skip it.  (Absent from both
 				// sides = a benchmark that never emits the metric.)
 				if inCur {
-					fmt.Fprintf(&b, "FAIL %s %s: metric absent from baseline (refresh the committed file)\n", bench.Name, m)
-					failed = true
+					fail(bench.Name, m, "metric absent from baseline (refresh the committed file)")
 				}
 				continue
 			}
 			if !inCur {
-				fmt.Fprintf(&b, "FAIL %s %s: metric disappeared (baseline %g)\n", bench.Name, m, want)
-				failed = true
+				fail(bench.Name, m, fmt.Sprintf("metric disappeared (baseline %g)", want))
 				continue
 			}
 			switch {
 			case got > want*(1+tol):
-				fmt.Fprintf(&b, "FAIL %s %s: %g -> %g (+%.2f%%)\n",
-					bench.Name, m, want, got, rel(want, got))
-				failed = true
+				fail(bench.Name, m, fmt.Sprintf("%g -> %g (+%.2f%%)", want, got, rel(want, got)))
 			case got < want*(1-tol):
-				fmt.Fprintf(&b, "note %s %s: %g -> %g (%.2f%%): improvement, baseline is stale\n",
-					bench.Name, m, want, got, rel(want, got))
+				msg := fmt.Sprintf("%g -> %g (%.2f%%): improvement, baseline is stale", want, got, rel(want, got))
+				fmt.Fprintf(&b, "note %s %s: %s\n", bench.Name, m, msg)
+				findings = append(findings, Finding{Kind: "warning", Bench: bench.Name, Metric: m, Msg: msg})
 			default:
 				fmt.Fprintf(&b, "ok   %s %s: %g -> %g\n", bench.Name, m, want, got)
 			}
@@ -202,7 +271,7 @@ func diff(base, cur *File, gated []string, tol float64) (string, bool) {
 	if !failed {
 		fmt.Fprintln(&b, "PASS: no deterministic-metric regressions")
 	}
-	return b.String(), failed
+	return b.String(), findings, failed
 }
 
 // rel returns the signed relative change in percent.

@@ -126,6 +126,9 @@ func (e *Engine) CreateTable(name string, schema colstore.Schema) (*colstore.Tab
 			return nil, fmt.Errorf("core: table %q already exists", name)
 		}
 	}
+	if _, err := e.cat.Sharded(name); err == nil {
+		return nil, fmt.Errorf("core: table %q already exists (sharded)", name)
+	}
 	t := colstore.NewTable(name, schema)
 	e.cat.AddTable(t)
 	return t, nil
@@ -134,6 +137,12 @@ func (e *Engine) CreateTable(name string, schema colstore.Schema) (*colstore.Tab
 // Seal freezes the named table into its scan-optimized layout and
 // refreshes optimizer statistics.  Call it after bulk loads.
 func (e *Engine) Seal(name string) error {
+	if st, err := e.cat.Sharded(name); err == nil {
+		if err := st.Seal(); err != nil {
+			return err
+		}
+		return e.cat.RefreshSharded(name)
+	}
 	t, err := e.cat.Table(name)
 	if err != nil {
 		return err

@@ -55,6 +55,10 @@ type Ticket struct {
 	// MergeTable names its target.
 	IsMerge    bool
 	MergeTable string
+	// IsRebalance marks a background shard-rebalance ticket (see
+	// OfferRebalance); RebalanceTable names its target.
+	IsRebalance    bool
+	RebalanceTable string
 
 	node     exec.Node
 	canceled bool
@@ -237,7 +241,7 @@ func (l *Loop) oldestLiveSnap() int64 {
 	var oldest int64
 	for _, id := range l.order {
 		t := l.tickets[id]
-		if t.done || t.IsMerge || t.SnapTS <= 0 {
+		if t.done || t.IsMerge || t.IsRebalance || t.SnapTS <= 0 {
 			continue
 		}
 		if oldest == 0 || t.SnapTS < oldest {
@@ -303,6 +307,11 @@ func (l *Loop) finalize(cs []sched.Completion) []*Ticket {
 				// Compaction changed the physical layout; re-derive the
 				// stats the planner prices against.
 				err = e.cat.RefreshStats(runner.MergeTable)
+			}
+			if err == nil && runner.IsRebalance {
+				// The rebalance re-cut the shards; refresh zone bounds and
+				// every per-shard statistic.
+				err = e.cat.RefreshSharded(runner.RebalanceTable)
 			}
 			if err != nil {
 				// An execution failure is isolated like a plan failure:

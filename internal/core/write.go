@@ -53,21 +53,42 @@ func (e *Engine) EstimateDML(d *opt.DML) (opt.Cost, error) {
 // time `at` (which paces the group-commit window).  Conflicts surface as
 // txn.ErrConflict.
 func (e *Engine) ExecDML(d *opt.DML, at time.Duration) (*DMLResult, error) {
-	t, err := e.cat.Table(d.Table)
-	if err != nil {
-		return nil, err
+	st, serr := e.cat.Sharded(d.Table)
+	var t *colstore.Table
+	if serr != nil {
+		var err error
+		t, err = e.cat.Table(d.Table)
+		if err != nil {
+			return nil, err
+		}
 	}
 	res := &DMLResult{Stmt: d.String(), Kind: d.Kind, Table: d.Table}
 	var work energy.Counters
+	var tch *shardTouch
+	if st != nil {
+		tch = newShardTouch(st.NumShards())
+	}
 	tx := e.txm.Begin()
 	switch d.Kind {
 	case opt.DMLInsert:
-		if err := e.bufferInserts(tx, t, d, &work); err != nil {
+		var err error
+		if st != nil {
+			err = e.bufferShardedInserts(tx, st, d, &work, tch)
+		} else {
+			err = e.bufferInserts(tx, t, d, &work)
+		}
+		if err != nil {
 			tx.Abort()
 			return nil, err
 		}
 	case opt.DMLUpdate, opt.DMLDelete:
-		matched, err := e.bufferMutations(tx, t, d, &work)
+		var matched int
+		var err error
+		if st != nil {
+			matched, err = e.bufferShardedMutations(tx, st, d, &work, tch)
+		} else {
+			matched, err = e.bufferMutations(tx, t, d, &work)
+		}
 		if err != nil {
 			tx.Abort()
 			return nil, err
@@ -97,8 +118,20 @@ func (e *Engine) ExecDML(d *opt.DML, at time.Duration) (*DMLResult, error) {
 	b.Static = energy.StaticEnergy(e.cm.PState.Active, e.model.CPUTime(work, e.cm.PState))
 	res.Energy = b
 	// Keep planner estimates (and with them admission pricing) tracking
-	// the table the statement just changed.
-	if err := e.cat.RefreshStats(d.Table); err != nil {
+	// the table the statement just changed.  Sharded tables refresh only
+	// what the statement touched: zone bounds widen in O(1) per routed
+	// key, and only the hit shards re-stat — a full RecomputeBounds here
+	// would rescan the whole table on every statement.
+	if st != nil {
+		for i, keys := range tch.keys {
+			for _, k := range keys {
+				st.WidenBounds(i, k)
+			}
+		}
+		if err := e.cat.RefreshShardedShards(d.Table, tch.touched()); err != nil {
+			return nil, err
+		}
+	} else if err := e.cat.RefreshStats(d.Table); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -305,6 +338,13 @@ func (e *Engine) Recover() (int, error) {
 	}
 	for _, name := range e.cat.Tables() {
 		if rerr := e.cat.RefreshStats(name); rerr != nil {
+			return applied, rerr
+		}
+	}
+	// Sharded tables additionally recover their zone bounds and global
+	// sequence counter from the replayed rows.
+	for _, name := range e.cat.ShardedTables() {
+		if rerr := e.cat.RefreshSharded(name); rerr != nil {
 			return applied, rerr
 		}
 	}

@@ -339,6 +339,12 @@ func (a *HashAgg) Run(ctx *Ctx) (*Relation, error) {
 	if fp := a.fusedAggPlan(); fp != nil {
 		return a.runFusedAgg(ctx, fp)
 	}
+	// Sharded counterpart: a ShardedScan child folds shard-at-a-time
+	// through the same fused kernels, with merged groups ordered by each
+	// group's first-appearance sequence (sharded.go).
+	if sp := a.shardedAggPlan(); sp != nil {
+		return a.runShardedAgg(ctx, sp)
+	}
 	in, err := a.Child.Run(ctx)
 	if err != nil {
 		return nil, err

@@ -71,6 +71,10 @@ type fusedAggPlan struct {
 	// aggInts[i] is the Int64 input of aggregate i, nil when the
 	// aggregate needs no values (COUNT).
 	aggInts []*colstore.IntColumn
+	// trackFirst makes every morsel table record the global row of each
+	// group's first selected appearance (fusedAggTable.first) — the
+	// sharded path needs it to order merged groups by sequence.
+	trackFirst bool
 }
 
 // fusedAggPlan reports how (and whether) this HashAgg can fuse into its
@@ -173,6 +177,13 @@ type fusedAggTable struct {
 	imaxs     []int64
 	seen      []bool
 	nAggs     int
+	// First-appearance tracking (sharded aggregation only).  When firstOn
+	// is set, first[g] records base + the window-local row of group g's
+	// first selected appearance (-1 until noted); the sharded merge
+	// rewrites rows into global sequences and keeps the minimum.
+	firstOn bool
+	base    int64
+	first   []int64
 }
 
 func newFusedAggTable(nAggs int) *fusedAggTable {
@@ -215,6 +226,52 @@ func (t *fusedAggTable) slot(key int64) int32 {
 	}
 }
 
+// firstOf returns group gi's recorded first-appearance value, -1 when
+// none was noted (or tracking is off).
+func (t *fusedAggTable) firstOf(gi int) int64 {
+	if gi >= len(t.first) {
+		return -1
+	}
+	return t.first[gi]
+}
+
+// noteFirst records window-local row i as group g's first selected
+// appearance, once.  Fold loops visit rows in ascending order and
+// partials merge in morsel order, so the first note IS the first
+// selected occurrence.
+func (t *fusedAggTable) noteFirst(g int32, i int) {
+	if !t.firstOn {
+		return
+	}
+	for int(g) >= len(t.first) {
+		t.first = append(t.first, -1)
+	}
+	if t.first[g] < 0 {
+		t.first[g] = t.base + int64(i)
+	}
+}
+
+// noteFirstRange records the first selected row of [lo, hi) as group g's
+// first appearance — the run-at-a-time closed forms never see individual
+// rows, so on insertion the exact first set bit is looked up here.
+func (t *fusedAggTable) noteFirstRange(g int32, sel *vec.Bitvec, lo, hi int) {
+	if !t.firstOn {
+		return
+	}
+	for int(g) >= len(t.first) {
+		t.first = append(t.first, -1)
+	}
+	if t.first[g] >= 0 {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		if sel.Get(i) {
+			t.first[g] = t.base + int64(i)
+			return
+		}
+	}
+}
+
 func (t *fusedAggTable) grow() {
 	size := (t.mask + 1) * 2
 	t.mask = size - 1
@@ -251,6 +308,14 @@ func (t *fusedAggTable) addN(g int32, ai int, v, n int64) {
 func (t *fusedAggTable) mergeFrom(src *fusedAggTable) {
 	for gi, key := range src.keys {
 		g := t.slot(key)
+		if t.firstOn {
+			for int(g) >= len(t.first) {
+				t.first = append(t.first, -1)
+			}
+			if sf := src.firstOf(gi); sf >= 0 && (t.first[g] < 0 || sf < t.first[g]) {
+				t.first[g] = sf
+			}
+		}
 		t.counts[g] += src.counts[gi]
 		for a := 0; a < t.nAggs; a++ {
 			so, do := gi*t.nAggs+a, int(g)*t.nAggs+a
@@ -326,6 +391,10 @@ func (a *HashAgg) fusedAggMorsel(fp *fusedAggPlan, snap int64, lo, hi int) (*fus
 	w.TuplesOut += uint64(selCnt) // the scan stage's logical output
 
 	t := newFusedAggTable(len(a.Aggs))
+	if fp.trackFirst {
+		t.firstOn = true
+		t.base = int64(lo)
+	}
 	if selCnt > 0 {
 		w.Add(a.fusedFold(fp, t, sel, lo, hi, selCnt))
 		// The aggregate stage's logical rows plus its fold budget; the
@@ -424,7 +493,9 @@ func (a *HashAgg) fusedFold(fp *fusedAggPlan, t *fusedAggTable, sel *vec.Bitvec,
 	// selected rows only.
 	if sparse {
 		sel.ForEach(func(i int) {
-			foldRow(t.slot(fp.groupInts.Get(lo+i)), i)
+			g := t.slot(fp.groupInts.Get(lo + i))
+			t.noteFirst(g, i)
+			foldRow(g, i)
 		})
 		w.Add(sparseWork(selCnt))
 		return w
@@ -442,6 +513,7 @@ func (a *HashAgg) fusedFold(fp *fusedAggPlan, t *fusedAggTable, sel *vec.Bitvec,
 					return
 				}
 				g := t.slot(v)
+				t.noteFirstRange(g, sel, ra-lo, rb-lo)
 				t.counts[g] += int64(c)
 				for ai, ic := range fp.aggInts {
 					if ic == nil {
@@ -472,6 +544,7 @@ func (a *HashAgg) fusedFold(fp *fusedAggPlan, t *fusedAggTable, sel *vec.Bitvec,
 				if g < 0 {
 					g = t.slot(dict[code])
 					code2group[code] = g
+					t.noteFirst(g, i)
 				}
 				foldRow(g, i)
 			})
@@ -479,7 +552,9 @@ func (a *HashAgg) fusedFold(fp *fusedAggPlan, t *fusedAggTable, sel *vec.Bitvec,
 			buf := make([]int64, lb-la)
 			w.Add(sp.Decode(buf))
 			sel.ForEachRange(la, lb, func(i int) {
-				foldRow(t.slot(buf[i-la]), i)
+				g := t.slot(buf[i-la])
+				t.noteFirst(g, i)
+				foldRow(g, i)
 			})
 		}
 	}

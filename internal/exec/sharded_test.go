@@ -1,0 +1,419 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/energy"
+	"repro/internal/expr"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// Sharded byte-identity matrix (ISSUE 10 acceptance).  Value-range
+// sharding must be invisible to results: at every shard count {1,4,16}
+// × DOP {1,2,8} × sealed-only vs live main+delta snapshots, sharded
+// scans, fused aggregations (and their string/float fallbacks), and
+// co-partitioned joins return relations byte-identical to the flat
+// layout, and each arm's counters are DOP-invariant.  Counters are NOT
+// compared across shard counts: pruning changes the bytes touched —
+// that is the whole point (E25 gates the drop).
+
+var shardCounts = []int{1, 4, 16}
+
+// shardTwins builds one flat table plus sharded twins at every shard
+// count, all carrying the identical MVCC history: base rows sealed,
+// then `extra` committed inserts at ts 1..extra and tombstones over
+// base and delta rows.  DML routes to the owning shard by key with a
+// fresh global sequence, mirroring the engine's sharded write path.
+func shardTwins(t testing.TB, n, extra int) (*colstore.Table, map[int]*colstore.ShardedTable) {
+	t.Helper()
+	flat := colstore.NewTable("orders", colstore.Schema{
+		{Name: "custkey", Type: colstore.Int64},
+		{Name: "grp", Type: colstore.Int64},
+		{Name: "region", Type: colstore.String},
+		{Name: "amount", Type: colstore.Float64},
+		{Name: "val", Type: colstore.Int64},
+	})
+	custkey := workload.UniformInts(31, n, 1<<16)
+	grp := workload.UniformInts(32, n, 24)
+	rcodes := workload.UniformInts(33, n, int64(len(workload.RegionNames)))
+	regions := make([]string, n)
+	for i, c := range rcodes {
+		regions[i] = workload.RegionNames[c]
+	}
+	amounts := make([]float64, n)
+	for i := range amounts {
+		amounts[i] = float64(i%883) + 0.5
+	}
+	val := workload.UniformInts(34, n, 1<<20)
+	must(t, flat.Writer().Int64("custkey", custkey...).Close())
+	must(t, flat.Writer().Int64("grp", grp...).Close())
+	must(t, flat.Writer().String("region", regions...).Close())
+	must(t, flat.Writer().Float64("amount", amounts...).Close())
+	must(t, flat.Writer().Int64("val", val...).Close())
+	must(t, flat.Seal())
+
+	twins := make(map[int]*colstore.ShardedTable, len(shardCounts))
+	for _, k := range shardCounts {
+		st, err := colstore.ShardTable(flat, "custkey", k)
+		must(t, err)
+		must(t, st.Seal())
+		twins[k] = st
+	}
+
+	// Identical committed history on every twin.  flatIDs[i] is the flat
+	// row id of the i-th insert; stIDs[k][i] its (shard, id) twin.
+	type loc struct {
+		sh *colstore.Table
+		id int64
+	}
+	stIDs := make(map[int][]loc)
+	var flatIDs []int64
+	lsn := uint64(1)
+	ts := int64(0)
+	for i := 0; i < extra; i++ {
+		ts++
+		vals := []any{
+			int64((i * 7919) % (1 << 16)), int64(i % 24),
+			workload.RegionNames[i%len(workload.RegionNames)],
+			float64(i) + 0.25, int64(i % (1 << 20)),
+		}
+		id, err := flat.ApplyInsert(ts, lsn, vals...)
+		must(t, err)
+		flatIDs = append(flatIDs, id)
+		for _, k := range shardCounts {
+			st := twins[k]
+			seq := st.AllocSeq()
+			sh := st.Shard(st.ShardFor(vals[0].(int64)))
+			sid, err := sh.ApplyInsert(ts, lsn, append(append([]any(nil), vals...), seq)...)
+			must(t, err)
+			stIDs[k] = append(stIDs[k], loc{sh, sid})
+		}
+		lsn++
+	}
+	if extra > 0 {
+		// Locate each twin's copy of base row r by its sequence (= r).
+		locate := make(map[int]map[int64]loc)
+		for _, k := range shardCounts {
+			locate[k] = make(map[int64]loc, n)
+			for _, sh := range twins[k].Shards() {
+				seqc, err := sh.IntCol(colstore.ShardSeqCol)
+				must(t, err)
+				for r := 0; r < sh.Rows(); r++ {
+					locate[k][seqc.Get(r)] = loc{sh, sh.RowID(r)}
+				}
+			}
+		}
+		for i := 0; i < n/41; i++ {
+			ts++
+			r := i * 41
+			must(t, flat.ApplyDelete(ts, lsn, flat.RowID(r)))
+			for _, k := range shardCounts {
+				l := locate[k][int64(r)]
+				must(t, l.sh.ApplyDelete(ts, lsn, l.id))
+			}
+			lsn++
+		}
+		for i := 0; i < extra/10; i++ {
+			ts++
+			must(t, flat.ApplyDelete(ts, lsn, flatIDs[i*10]))
+			for _, k := range shardCounts {
+				l := stIDs[k][i*10]
+				must(t, l.sh.ApplyDelete(ts, lsn, l.id))
+			}
+			lsn++
+		}
+	}
+	for _, k := range shardCounts {
+		twins[k].RecomputeBounds()
+	}
+	return flat, twins
+}
+
+type shardArm struct {
+	rel *Relation
+	w   energy.Counters
+}
+
+func runNodeArm(t testing.TB, node Node, snap int64, dop int) shardArm {
+	t.Helper()
+	ctx := NewCtx()
+	ctx.SnapTS = snap
+	ctx.Parallelism = dop
+	rel, err := node.Run(ctx)
+	must(t, err)
+	return shardArm{rel, ctx.Meter.Snapshot()}
+}
+
+// checkShardMatrix runs flat vs every shard count and asserts: the flat
+// arm's relation is reproduced bit for bit by every sharded arm, and
+// within every arm the counters are DOP-invariant.
+func checkShardMatrix(t *testing.T, snap int64, flatNode func() Node, shardNode func(k int) Node) {
+	t.Helper()
+	want := runNodeArm(t, flatNode(), snap, 1)
+	for _, dop := range []int{2, 8} {
+		a := runNodeArm(t, flatNode(), snap, dop)
+		if !reflect.DeepEqual(a.rel, want.rel) || a.w != want.w {
+			t.Fatalf("flat arm not DOP-invariant at dop=%d", dop)
+		}
+	}
+	for _, k := range shardCounts {
+		ref := runNodeArm(t, shardNode(k), snap, 1)
+		if !reflect.DeepEqual(ref.rel, want.rel) {
+			t.Fatalf("k=%d: sharded relation diverged from flat\n got N=%d %v\nwant N=%d %v",
+				k, ref.rel.N, ref.rel.ColNames(), want.rel.N, want.rel.ColNames())
+		}
+		for _, dop := range []int{2, 8} {
+			a := runNodeArm(t, shardNode(k), snap, dop)
+			if !reflect.DeepEqual(a.rel, ref.rel) || a.w != ref.w {
+				t.Fatalf("k=%d dop=%d: sharded arm not DOP-invariant", k, dop)
+			}
+		}
+	}
+}
+
+func TestShardedScanByteIdentityMatrix(t *testing.T) {
+	const n = 200_000
+	preds := map[string][]expr.Pred{
+		"full":     nil,
+		"key-skew": {{Col: "custkey", Op: vec.LT, Val: expr.IntVal(1 << 11)}},
+		"key-mid": {{Col: "custkey", Op: vec.GE, Val: expr.IntVal(1 << 14)},
+			{Col: "val", Op: vec.LT, Val: expr.IntVal(1 << 19)}},
+		"nonkey": {{Col: "grp", Op: vec.EQ, Val: expr.IntVal(7)}},
+	}
+	sel := []string{"custkey", "grp", "region", "amount", "val"}
+	for _, live := range []struct {
+		name  string
+		extra int
+		snap  int64
+	}{
+		{"sealed", 0, colstore.SnapLatest},
+		{"live", 400, colstore.SnapLatest},
+		{"live@200", 400, 200},
+	} {
+		flat, twins := shardTwins(t, n, live.extra)
+		for pname, ps := range preds {
+			ps := ps
+			t.Run(live.name+"/"+pname, func(t *testing.T) {
+				checkShardMatrix(t, live.snap,
+					func() Node { return &ParallelScan{Table: flat, Select: sel, Preds: ps} },
+					func(k int) Node { return &ShardedScan{Sharded: twins[k], Select: sel, Preds: ps} },
+				)
+			})
+		}
+	}
+}
+
+func TestShardedAggByteIdentityMatrix(t *testing.T) {
+	const n = 200_000
+	cases := []struct {
+		name    string
+		sel     []string
+		groupBy []string
+		aggs    []expr.AggSpec
+		preds   []expr.Pred
+	}{
+		{
+			// Int group key: the per-shard fused path with first-sequence
+			// group ordering.
+			name: "int-group-fused", sel: []string{"grp", "val", "custkey"},
+			groupBy: []string{"grp"},
+			aggs: []expr.AggSpec{
+				{Func: expr.AggSum, Col: "val"}, {Func: expr.AggCount},
+				{Func: expr.AggMin, Col: "custkey"}, {Func: expr.AggMax, Col: "val"},
+			},
+			preds: []expr.Pred{{Col: "custkey", Op: vec.LT, Val: expr.IntVal(1 << 14)}},
+		},
+		{
+			// Global aggregate, key-pruned.
+			name: "global-fused", sel: []string{"val", "custkey"},
+			aggs:  []expr.AggSpec{{Func: expr.AggSum, Col: "val"}, {Func: expr.AggCount}},
+			preds: []expr.Pred{{Col: "custkey", Op: vec.GE, Val: expr.IntVal(1 << 15)}},
+		},
+		{
+			// String group key: per-shard dictionaries are incomparable, so
+			// this takes the merged-relation fallback.
+			name: "string-group-fallback", sel: []string{"region", "val"},
+			groupBy: []string{"region"},
+			aggs:    []expr.AggSpec{{Func: expr.AggSum, Col: "val"}, {Func: expr.AggCount}},
+			preds:   []expr.Pred{{Col: "custkey", Op: vec.LT, Val: expr.IntVal(1 << 13)}},
+		},
+		{
+			// Float aggregate input: fused kernels are integer-only, so this
+			// also takes the merged-relation fallback.
+			name: "float-agg-fallback", sel: []string{"grp", "amount"},
+			groupBy: []string{"grp"},
+			aggs:    []expr.AggSpec{{Func: expr.AggSum, Col: "amount"}, {Func: expr.AggCount}},
+			preds:   []expr.Pred{{Col: "custkey", Op: vec.LT, Val: expr.IntVal(1 << 13)}},
+		},
+	}
+	for _, live := range []struct {
+		name  string
+		extra int
+		snap  int64
+	}{
+		{"sealed", 0, colstore.SnapLatest},
+		{"live", 300, colstore.SnapLatest},
+		{"live@150", 300, 150},
+	} {
+		flat, twins := shardTwins(t, n, live.extra)
+		for _, c := range cases {
+			c := c
+			t.Run(live.name+"/"+c.name, func(t *testing.T) {
+				checkShardMatrix(t, live.snap,
+					func() Node {
+						return &HashAgg{
+							Child:   &ParallelScan{Table: flat, Select: c.sel, Preds: c.preds},
+							GroupBy: c.groupBy, Aggs: c.aggs,
+						}
+					},
+					func(k int) Node {
+						return &HashAgg{
+							Child:   &ShardedScan{Sharded: twins[k], Select: c.sel, Preds: c.preds},
+							GroupBy: c.groupBy, Aggs: c.aggs,
+						}
+					},
+				)
+			})
+		}
+	}
+}
+
+// TestShardedAggEligibility pins the fallback edges of the per-shard
+// fused path.
+func TestShardedAggEligibility(t *testing.T) {
+	_, twins := shardTwins(t, 4096, 0)
+	ss := func() *ShardedScan {
+		return &ShardedScan{Sharded: twins[4], Select: []string{"grp", "region", "amount", "val"}}
+	}
+	sum := []expr.AggSpec{{Func: expr.AggSum, Col: "val"}}
+	if !ShardedAggEligible(ss(), []string{"grp"}, sum) {
+		t.Fatal("int group over int agg should fuse per shard")
+	}
+	if ShardedAggEligible(ss(), []string{"region"}, sum) {
+		t.Fatal("string group must fall back (per-shard dictionaries)")
+	}
+	if ShardedAggEligible(ss(), []string{"grp"}, []expr.AggSpec{{Func: expr.AggSum, Col: "amount"}}) {
+		t.Fatal("float agg input must fall back")
+	}
+	if ShardedAggEligible(ss(), []string{"grp", "val"}, sum) {
+		t.Fatal("multi-column group must fall back")
+	}
+}
+
+func TestShardedJoinByteIdentityMatrix(t *testing.T) {
+	const n = 120_000
+	const nCust = 1 << 12
+	for _, live := range []struct {
+		name  string
+		extra int
+		snap  int64
+	}{
+		{"sealed", 0, colstore.SnapLatest},
+		{"live", 200, colstore.SnapLatest},
+	} {
+		flatO, twinsO := shardTwins(t, n, live.extra)
+
+		flatC := colstore.NewTable("cust", colstore.Schema{
+			{Name: "custkey", Type: colstore.Int64},
+			{Name: "tier", Type: colstore.Int64},
+		})
+		ck := make([]int64, nCust)
+		tier := make([]int64, nCust)
+		for i := range ck {
+			ck[i] = int64(i * (1 << 16) / nCust) // spans the orders key domain
+			tier[i] = int64(i % 5)
+		}
+		must(t, flatC.Writer().Int64("custkey", ck...).Close())
+		must(t, flatC.Writer().Int64("tier", tier...).Close())
+		must(t, flatC.Seal())
+
+		for _, k := range shardCounts {
+			k := k
+			t.Run(live.name+"/k="+itoa(k), func(t *testing.T) {
+				stO := twinsO[k]
+				stC, err := colstore.ShardTableAligned(flatC, "custkey", stO)
+				must(t, err)
+				must(t, stC.Seal())
+				if !stO.AlignedWith(stC) {
+					t.Fatal("aligned twin is not AlignedWith the original")
+				}
+				lp := []expr.Pred{{Col: "custkey", Op: vec.LT, Val: expr.IntVal(1 << 13)}}
+				rp := []expr.Pred{{Col: "tier", Op: vec.NE, Val: expr.IntVal(4)}}
+				lsel := []string{"custkey", "grp", "val"}
+				rsel := []string{"custkey", "tier"}
+
+				left := &ShardedScan{Sharded: stO, Select: lsel, Preds: lp}
+				right := &ShardedScan{Sharded: stC, Select: rsel, Preds: rp}
+				if !CoPartitionEligible(left, right, "custkey", "custkey") {
+					t.Fatal("aligned sharded scans should be co-partition eligible")
+				}
+				if CoPartitionEligible(left, right, "grp", "custkey") {
+					t.Fatal("non-shard-column keys must not co-partition")
+				}
+
+				want := runNodeArm(t, &HashJoin{
+					Left:    &ParallelScan{Table: flatO, Select: lsel, Preds: lp},
+					Right:   &ParallelScan{Table: flatC, Select: rsel, Preds: rp},
+					LeftKey: "custkey", RightKey: "custkey",
+				}, live.snap, 1)
+				if want.rel.N == 0 {
+					t.Fatal("degenerate join: no output rows")
+				}
+				ref := runNodeArm(t, &ShardedJoin{
+					Left: left, Right: right, LeftKey: "custkey", RightKey: "custkey",
+				}, live.snap, 1)
+				if !reflect.DeepEqual(ref.rel, want.rel) {
+					t.Fatalf("k=%d: co-partitioned join diverged from flat hash join", k)
+				}
+				for _, dop := range []int{2, 8} {
+					a := runNodeArm(t, &ShardedJoin{
+						Left: left, Right: right, LeftKey: "custkey", RightKey: "custkey",
+					}, live.snap, dop)
+					if !reflect.DeepEqual(a.rel, ref.rel) || a.w != ref.w {
+						t.Fatalf("k=%d dop=%d: sharded join not DOP-invariant", k, dop)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardPruningCounters asserts the energy contract of pruning: a
+// skewed key predicate touches strictly fewer DRAM bytes as the shard
+// count grows, while TuplesIn (logical rows considered) stays constant.
+func TestShardPruningCounters(t *testing.T) {
+	const n = 200_000
+	flat, twins := shardTwins(t, n, 0)
+	preds := []expr.Pred{{Col: "custkey", Op: vec.LT, Val: expr.IntVal(1 << 10)}}
+	sel := []string{"custkey", "val"}
+	flatArm := runNodeArm(t, &ParallelScan{Table: flat, Select: sel, Preds: preds}, colstore.SnapLatest, 1)
+	var prevBytes uint64
+	for i, k := range shardCounts {
+		a := runNodeArm(t, &ShardedScan{Sharded: twins[k], Select: sel, Preds: preds}, colstore.SnapLatest, 1)
+		if a.w.TuplesIn < uint64(n) {
+			t.Fatalf("k=%d: logical rows considered %d < %d (pruning must charge TuplesIn)", k, a.w.TuplesIn, n)
+		}
+		if i > 0 && a.w.BytesReadDRAM >= prevBytes {
+			t.Fatalf("k=%d: pruning did not shed bytes: %d >= %d", k, a.w.BytesReadDRAM, prevBytes)
+		}
+		prevBytes = a.w.BytesReadDRAM
+	}
+	if flatArm.rel.N == 0 {
+		t.Fatal("degenerate predicate: no rows selected")
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}

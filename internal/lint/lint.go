@@ -110,7 +110,8 @@ func DefaultConfig() Config {
 		ExecPkgs:  []string{"repro/internal/exec"},
 		PoolFuncs: []string{"runPool", "runMorsels"},
 		HotStructs: map[string][]string{
-			"repro/internal/exec": {"partChunk", "pairChunk", "joinTable", "fusedAggTable"},
+			"repro/internal/exec":     {"partChunk", "pairChunk", "joinTable", "fusedAggTable", "seqMerger"},
+			"repro/internal/colstore": {"ShardBound"},
 		},
 		EnergyPkg:   "repro/internal/energy",
 		RegistryPkg: "repro/internal/experiments",

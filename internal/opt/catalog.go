@@ -96,6 +96,7 @@ type Catalog struct {
 	tables  map[string]*colstore.Table
 	stats   map[string]*TableStats
 	indexes map[string]map[string]indexEntry
+	sharded map[string]*colstore.ShardedTable
 }
 
 // NewCatalog returns an empty catalog.
@@ -104,6 +105,7 @@ func NewCatalog() *Catalog {
 		tables:  make(map[string]*colstore.Table),
 		stats:   make(map[string]*TableStats),
 		indexes: make(map[string]map[string]indexEntry),
+		sharded: make(map[string]*colstore.ShardedTable),
 	}
 }
 

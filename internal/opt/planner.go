@@ -83,6 +83,10 @@ type JoinPlanInfo struct {
 	LeftKey, RightKey string
 	Partitioned       bool
 	CodeDomain        bool
+	// CoPartitioned reports that both sides are value-range-sharded on
+	// the join keys with aligned cuts, so the join runs shard-pair by
+	// shard-pair with no radix scatter (exec.ShardedJoin).
+	CoPartitioned bool
 	// FusedProbe reports that the probe feed fuses into the probe-side
 	// scan: selected keys stream straight from the compressed segments
 	// and the intermediate probe relation is never materialized.
@@ -115,6 +119,12 @@ type PlanInfo struct {
 	// materialization is credited out of Est.
 	FusedAgg    bool
 	FusedProbes []string
+	// ShardsScanned/ShardsPruned count value-range shards across every
+	// sharded scan in the plan: pruned shards were disqualified by their
+	// zone bounds before a single morsel was enumerated, and their bytes
+	// are shed from Est.
+	ShardsScanned int
+	ShardsPruned  int
 	// JoinOrder is the table order the join-ordering pass chose (empty
 	// when the query has fewer than two joins or the pass was skipped);
 	// JoinOrderExact reports whether the exact DP solved it, as opposed
@@ -206,6 +216,11 @@ func (c *Catalog) Plan(q *Query, cm *CostModel, obj Objective) (exec.Node, *Plan
 			sel = append(sel, col)
 		}
 		sortStrings(sel)
+		// A sharded table plans per shard: zone-prune first, price only
+		// the survivors.
+		if st, serr := c.Sharded(table); serr == nil {
+			return c.scanSharded(st, preds, sel, cm, info)
+		}
 		choice, err := ChooseAccess(c, cm, table, preds, len(sel), obj)
 		if err != nil {
 			return nil, err
@@ -380,11 +395,26 @@ func (c *Catalog) Plan(q *Query, cm *CostModel, obj Objective) (exec.Node, *Plan
 			probeName, buildName = d.pj.table, rootName
 			lk, rk = rk, lk
 		}
-		if d.partitioned {
-			info.Parallel = true
-			root = &exec.ParallelJoin{Left: probe, Right: build, LeftKey: lk, RightKey: rk}
-		} else {
-			root = &exec.HashJoin{Left: probe, Right: build, LeftKey: lk, RightKey: rk}
+		// Co-partitioned join: both sides sharded on the join keys with
+		// aligned cuts.  The radix scatter is skipped entirely — every
+		// key is owned by the same shard index on both sides — so this
+		// beats the partitioned operator whenever it is legal.
+		coPart := false
+		if ls, lok := probe.(*exec.ShardedScan); lok {
+			if rs, rok := build.(*exec.ShardedScan); rok && exec.CoPartitionEligible(ls, rs, lk, rk) {
+				coPart = true
+				d.partitioned = false
+				info.Parallel = true
+				root = &exec.ShardedJoin{Left: ls, Right: rs, LeftKey: lk, RightKey: rk}
+			}
+		}
+		if !coPart {
+			if d.partitioned {
+				info.Parallel = true
+				root = &exec.ParallelJoin{Left: probe, Right: build, LeftKey: lk, RightKey: rk}
+			} else {
+				root = &exec.HashJoin{Left: probe, Right: build, LeftKey: lk, RightKey: rk}
+			}
 		}
 		rootName = "⋈"
 		keyBytes := float64(8)
@@ -400,7 +430,8 @@ func (c *Catalog) Plan(q *Query, cm *CostModel, obj Objective) (exec.Node, *Plan
 			Probe: probeName, Build: buildName,
 			LeftKey: lk, RightKey: rk,
 			Partitioned: d.partitioned, CodeDomain: d.codeDomain,
-			EstProbeRows: d.probeRows, EstBuildRows: d.buildRows, EstOutRows: d.outRows,
+			CoPartitioned: coPart,
+			EstProbeRows:  d.probeRows, EstBuildRows: d.buildRows, EstOutRows: d.outRows,
 			ProbeBytes: uint64(d.probeRows * keyBytes),
 		}
 		if d.partitioned {
@@ -441,6 +472,14 @@ func (c *Catalog) Plan(q *Query, cm *CostModel, obj Objective) (exec.Node, *Plan
 		// Fused filter→aggregate: the scan's filtered relation is never
 		// materialized, so the estimate sheds its materialization terms.
 		if ps, ok := root.(*exec.ParallelScan); ok && exec.FusedAggEligible(ps, q.GroupBy, aggs) {
+			info.FusedAgg = true
+			if ts, err := c.Stats(q.From); err == nil {
+				info.creditFusion(cm, EstimateFusionSavings(ts, predsOf[q.From], len(needed[q.From])))
+			}
+		}
+		// Sharded mirror: every surviving shard folds through the fused
+		// kernels, so the fused-away materialization is credited likewise.
+		if ss, ok := root.(*exec.ShardedScan); ok && exec.ShardedAggEligible(ss, q.GroupBy, aggs) {
 			info.FusedAgg = true
 			if ts, err := c.Stats(q.From); err == nil {
 				info.creditFusion(cm, EstimateFusionSavings(ts, predsOf[q.From], len(needed[q.From])))
